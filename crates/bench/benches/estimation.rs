@@ -1,0 +1,28 @@
+//! Criterion: estimation-order ablation — the §4.4 trade-off between the
+//! second-order (O(p·|Et|)) and third-order (O(p³)) schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topomap_core::{EstimationOrder, Mapper, TopoLb};
+use topomap_taskgraph::gen;
+use topomap_topology::Torus;
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimation_order");
+    group.sample_size(10);
+    for side in [8usize, 12, 16] {
+        let p = side * side;
+        let tasks = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        for order in [EstimationOrder::First, EstimationOrder::Second, EstimationOrder::Third] {
+            group.bench_with_input(
+                BenchmarkId::new(order.label(), p),
+                &p,
+                |b, _| b.iter(|| TopoLb::new(order).map(&tasks, &topo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

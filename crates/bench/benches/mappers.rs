@@ -1,0 +1,39 @@
+//! Criterion: mapper runtime scaling (the §4.4 complexity claims —
+//! TopoLB second order ≈ O(p²) in practice, TopoCentLB O(p·|Et|)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topomap_core::{HierarchicalTopoLb, Mapper, RandomMap, RefineTopoLb, TopoCentLb, TopoLb};
+use topomap_taskgraph::gen;
+use topomap_topology::Torus;
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper_runtime");
+    group.sample_size(10);
+    for side in [8usize, 16, 24] {
+        let p = side * side;
+        let tasks = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        group.bench_with_input(BenchmarkId::new("TopoLB", p), &p, |b, _| {
+            b.iter(|| TopoLb::default().map(&tasks, &topo))
+        });
+        group.bench_with_input(BenchmarkId::new("TopoCentLB", p), &p, |b, _| {
+            b.iter(|| TopoCentLb.map(&tasks, &topo))
+        });
+        group.bench_with_input(BenchmarkId::new("Random", p), &p, |b, _| {
+            b.iter(|| RandomMap::new(1).map(&tasks, &topo))
+        });
+        group.bench_with_input(BenchmarkId::new("TopoLB+Refine", p), &p, |b, _| {
+            b.iter(|| RefineTopoLb::new(TopoLb::default()).map(&tasks, &topo))
+        });
+        // Hierarchical (semi-distributed) variant with 4x4-node blocks:
+        // the §6 future-work scalability point.
+        let hier = HierarchicalTopoLb::new(vec![side / 4, side / 4]);
+        group.bench_with_input(BenchmarkId::new("HierTopoLB", p), &p, |b, _| {
+            b.iter(|| hier.map_torus(&tasks, &topo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: network-simulator event throughput (the BigNetSim-substitute
+//! cost that bounds the §5.3 sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topomap_core::{Mapper, RandomMap, TopoLb};
+use topomap_netsim::{trace, NetworkConfig, Simulation};
+use topomap_taskgraph::gen;
+use topomap_topology::Torus;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    let tasks = gen::stencil2d(8, 8, 8192.0, false);
+    let topo = Torus::torus_3d(4, 4, 4);
+    let tr = trace::stencil_trace(&tasks, 50, 5_000);
+    let good = TopoLb::default().map(&tasks, &topo);
+    let bad = RandomMap::new(3).map(&tasks, &topo);
+    for (name, mapping) in [("TopoLB", &good), ("Random", &bad)] {
+        for bw in [100.0e6, 1000.0e6] {
+            let cfg = NetworkConfig::default().with_bandwidth(bw);
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{}MBps", bw / 1e6)),
+                &cfg,
+                |b, cfg| b.iter(|| Simulation::run(&topo, cfg, &tr, mapping)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion: phase-1 partitioner cost on the LeanMD-style workload
+//! (the METIS step of §4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topomap_partition::{GreedyLoad, MultilevelKWay, Partitioner, RandomPartition};
+use topomap_taskgraph::gen;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+    for p in [32usize, 128] {
+        let g = gen::leanmd(p, &gen::LeanMdConfig::default());
+        group.bench_with_input(BenchmarkId::new("MultilevelKWay", p), &p, |b, &p| {
+            b.iter(|| MultilevelKWay::default().partition(&g, p))
+        });
+        group.bench_with_input(BenchmarkId::new("GreedyLoad", p), &p, |b, &p| {
+            b.iter(|| GreedyLoad.partition(&g, p))
+        });
+        group.bench_with_input(BenchmarkId::new("Random", p), &p, |b, &p| {
+            b.iter(|| RandomPartition::new(1).partition(&g, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

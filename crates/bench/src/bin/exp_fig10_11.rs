@@ -1,0 +1,75 @@
+//! Figures 10–11: time for 4000 iterations of the 2D Jacobi benchmark on
+//! BlueGene configured as a 3D-torus (Fig. 10) and 3D-mesh (Fig. 11),
+//! with 100KB messages, for TopoLB / TopoCentLB / Random.
+//!
+//! **Substitution**: the paper ran on BlueGene hardware; we drive the same
+//! benchmark through the packet simulator with BG/L-like constants
+//! (`topomap_netsim::bluegene`). Expected shape: both topology-aware
+//! mappers well below random; mesh times above torus times, with random
+//! placement hurt the most by losing the wraparound links (§5.4).
+//!
+//! Run: `cargo run -p topomap-bench --release --bin exp_fig10_11 [--full]`
+
+use topomap_bench::{f2, full_mode, print_table};
+use topomap_core::{Mapper, Mapping, RandomMap, TopoCentLb, TopoLb};
+use topomap_netsim::{bluegene, trace, Simulation, SimStats};
+use topomap_taskgraph::{gen, TaskGraph};
+use topomap_topology::{torus::balanced_factors_2, Topology, Torus};
+
+fn run_machine(topo: &Torus, tasks: &TaskGraph, iterations: usize) -> (SimStats, SimStats, f64) {
+    let cfg = bluegene::bluegene_config();
+    let tr = trace::stencil_trace(tasks, iterations, 50_000);
+    let run = |m: &Mapping| Simulation::run(topo, &cfg, &tr, m);
+    // Random placement averaged over seeds (one draw is noisy: a single
+    // unlucky hot link can dominate the completion time).
+    let rnd_avg_ns = (0..3)
+        .map(|s| run(&RandomMap::new(s).map(tasks, topo)).completion_ns as f64)
+        .sum::<f64>()
+        / 3.0;
+    (
+        run(&TopoLb::default().map(tasks, topo)),
+        run(&TopoCentLb.map(tasks, topo)),
+        rnd_avg_ns,
+    )
+}
+
+fn main() {
+    let iterations = if full_mode() { 4000 } else { 400 };
+    let ps: Vec<usize> = if full_mode() {
+        vec![64, 128, 256, 512, 729]
+    } else {
+        vec![64, 128, 256, 512]
+    };
+    let msg_bytes = 100.0 * 1024.0;
+
+    for torus in [true, false] {
+        let mut rows = Vec::new();
+        for &p in &ps {
+            let (mx, my) = balanced_factors_2(p);
+            let tasks = gen::stencil2d(mx, my, 2.0 * msg_bytes, false);
+            let topo = bluegene::bluegene_machine(p, torus);
+            assert_eq!(topo.num_nodes(), p);
+            let (lb, cent, rnd_ns) = run_machine(&topo, &tasks, iterations);
+            rows.push(vec![
+                p.to_string(),
+                f2(lb.completion_s()),
+                f2(cent.completion_s()),
+                f2(rnd_ns / 1e9),
+                f2(rnd_ns / lb.completion_ns as f64),
+            ]);
+            eprintln!(
+                "[fig{}] p = {p} done ({})",
+                if torus { 10 } else { 11 },
+                topo.name()
+            );
+        }
+        let (fig, net) = if torus { (10, "3D-Torus") } else { (11, "3D-Mesh") };
+        print_table(
+            &format!(
+                "Figure {fig}: time for {iterations} iterations of 2D-Jacobi (100KB msgs) on BlueGene {net} (s)"
+            ),
+            &["p", "TopoLB", "TopoCentLB", "Random", "Random/TopoLB"],
+            &rows,
+        );
+    }
+}

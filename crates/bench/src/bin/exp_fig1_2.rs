@@ -1,0 +1,73 @@
+//! Figures 1–2: 2D-mesh communication pattern mapped onto a 2D-torus.
+//!
+//! Figure 1 compares Random placement (with the analytic expectation
+//! `√p/2`), TopoLB, and TopoCentLB on hops-per-byte as the machine grows;
+//! Figure 2 is the zoomed TopoLB-vs-TopoCentLB comparison, where TopoLB
+//! reaches the ideal value 1 in most cases.
+//!
+//! Run: `cargo run -p topomap-bench --release --bin exp_fig1_2 [--full]`
+
+use topomap_bench::{f2, f3, full_mode, print_table};
+use topomap_core::{metrics, Mapper, RandomMap, TopoCentLb, TopoLb};
+use topomap_taskgraph::gen;
+use topomap_topology::{stats, Torus};
+
+fn main() {
+    // Perfect squares so the task mesh matches the torus shape, as in the
+    // paper's benchmark ("the number of tasks created is the same as the
+    // number of processors").
+    let mut sides: Vec<usize> = vec![8, 16, 24, 32, 48, 64];
+    if full_mode() {
+        sides.push(76); // p = 5776, the paper's ~6000-processor end
+    }
+
+    let mut rows = Vec::new();
+    let mut zoom_rows = Vec::new();
+    for side in sides {
+        let p = side * side;
+        let tasks = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+
+        // Random: average over seeds (the paper plots one draw; averaging
+        // just smooths the comparison with the analytic value).
+        let seeds = 3;
+        let rand_hpb: f64 = (0..seeds)
+            .map(|s| {
+                let m = RandomMap::new(s).map(&tasks, &topo);
+                metrics::hops_per_byte(&tasks, &topo, &m)
+            })
+            .sum::<f64>()
+            / seeds as f64;
+        let analytic = stats::expected_random_hops_torus_2d(p);
+
+        let cent = metrics::hops_per_byte(&tasks, &topo, &TopoCentLb.map(&tasks, &topo));
+        let lb = metrics::hops_per_byte(&tasks, &topo, &TopoLb::default().map(&tasks, &topo));
+
+        rows.push(vec![
+            p.to_string(),
+            f2(rand_hpb),
+            f2(analytic),
+            f3(cent),
+            f3(lb),
+            "1.000".to_string(),
+        ]);
+        zoom_rows.push(vec![
+            p.to_string(),
+            f3(lb),
+            f3(cent),
+            f2(100.0 * (cent / lb - 1.0)),
+        ]);
+        eprintln!("[fig1] p = {p} done");
+    }
+
+    print_table(
+        "Figure 1: 2D-mesh pattern on 2D-torus — average hops per byte",
+        &["p", "Random", "E[hops]=sqrt(p)/2", "TopoCentLB", "TopoLB", "Ideal"],
+        &rows,
+    );
+    print_table(
+        "Figure 2 (zoom): TopoLB vs TopoCentLB",
+        &["p", "TopoLB", "TopoCentLB", "TopoCentLB excess %"],
+        &zoom_rows,
+    );
+}

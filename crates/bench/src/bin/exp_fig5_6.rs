@@ -1,0 +1,90 @@
+//! Figures 5–6: LeanMD communication patterns mapped onto 2D and 3D tori.
+//!
+//! The full two-phase pipeline of §4.4: the (synthetic) LeanMD task graph
+//! of `3240 + p` chares is coalesced to `p` groups with the multilevel
+//! partitioner (METIS substitute), then the group graph is mapped with
+//! Random / TopoCentLB / TopoLB / TopoLB+RefineTopoLB.
+//!
+//! Paper reference points (p = 512, 2D torus): TopoLB −34% vs random,
+//! TopoCentLB −30%; RefineTopoLB a further ~12%; 3D torus ~40% total.
+//!
+//! Run: `cargo run -p topomap-bench --release --bin exp_fig5_6 [--full]`
+
+use topomap_bench::{f2, full_mode, print_table};
+use topomap_core::{pipeline::two_phase, Mapper, RandomMap, RefineTopoLb, TopoCentLb, TopoLb};
+use topomap_partition::MultilevelKWay;
+use topomap_taskgraph::{gen, stats::graph_stats};
+use topomap_topology::{Topology, Torus};
+
+fn run_family(title: &str, make_topo: &dyn Fn(usize) -> Torus, ps: &[usize]) {
+    let mut rows = Vec::new();
+    for &p in ps {
+        let topo = make_topo(p);
+        if topo.num_nodes() != p {
+            continue;
+        }
+        let tasks = gen::leanmd(p, &gen::LeanMdConfig::default());
+        let partitioner = MultilevelKWay::default();
+
+        // One shared phase-1 partition per machine size, so every mapper
+        // sees the identical group graph (the paper's §5.1 methodology).
+        let base = two_phase(&tasks, &topo, &partitioner, &RandomMap::new(17));
+        let groups = &base.group_graph;
+        let gstats = graph_stats(groups);
+
+        let hpb = |mapper: &dyn Mapper| {
+            let m = mapper.map(groups, &topo);
+            topomap_core::metrics::hops_per_byte(groups, &topo, &m)
+        };
+
+        let rand = hpb(&RandomMap::new(17));
+        let cent = hpb(&TopoCentLb);
+        let lb = hpb(&TopoLb::default());
+        let refined = hpb(&RefineTopoLb::new(TopoLb::default()));
+
+        rows.push(vec![
+            p.to_string(),
+            (tasks.num_tasks()).to_string(),
+            f2(gstats.avg_degree),
+            f2(rand),
+            f2(cent),
+            f2(lb),
+            f2(refined),
+            f2(100.0 * (1.0 - lb / rand)),
+            f2(100.0 * (1.0 - refined / lb)),
+        ]);
+        eprintln!("[{title}] p = {p} done");
+    }
+    print_table(
+        title,
+        &[
+            "p",
+            "chares",
+            "grp deg",
+            "Random",
+            "TopoCentLB",
+            "TopoLB",
+            "TopoLB+Refine",
+            "TopoLB red. %",
+            "Refine extra %",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let mut ps: Vec<usize> = vec![18, 64, 128, 256, 512];
+    if full_mode() {
+        ps.push(1024);
+    }
+    run_family(
+        "Figure 5: LeanMD on 2D-tori — average hops per byte",
+        &Torus::torus_2d_for,
+        &ps,
+    );
+    run_family(
+        "Figure 6: LeanMD on 3D-tori — average hops per byte",
+        &Torus::torus_3d_for,
+        &ps,
+    );
+}

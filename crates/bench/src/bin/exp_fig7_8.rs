@@ -1,0 +1,61 @@
+//! Figures 7–8: average message latency vs channel bandwidth for a
+//! 2D-mesh benchmark on a 64-node (4,4,4) 3D-torus.
+//!
+//! The paper's §5.3 BigNetSim study: "in the case of a random placement,
+//! the average latency increases dramatically as congestion sets in due to
+//! a reduction in bandwidth. TopoCentLB can tolerate a further reduction
+//! in network bandwidth while TopoLB is the most resilient."
+//! GreedyLB plays the random-placement role.
+//!
+//! Figure 7 sweeps 100 MB/s – 1 GB/s; Figure 8 is the zoom over the
+//! uncongested region (400 MB/s – 1 GB/s here).
+//!
+//! Run: `cargo run -p topomap-bench --release --bin exp_fig7_8 [--full]`
+
+use topomap_bench::{f2, full_mode, print_table};
+use topomap_core::{Mapper, RandomMap, TopoCentLb, TopoLb};
+use topomap_netsim::{config::NicModel, trace, NetworkConfig, Simulation};
+use topomap_taskgraph::gen;
+use topomap_topology::Torus;
+
+fn main() {
+    let iterations = if full_mode() { 500 } else { 200 };
+    // 8x8 2D-mesh pattern, 4 KiB messages, light compute (the paper keeps
+    // "the amount of computation low so that communication is a
+    // significant factor").
+    let tasks = gen::stencil2d(8, 8, 2.0 * 2048.0, false);
+    let topo = Torus::torus_3d(4, 4, 4);
+    let tr = trace::stencil_trace(&tasks, iterations, 5_000);
+
+    let random = RandomMap::new(1).map(&tasks, &topo); // GreedyLB-equivalent placement
+    let cent = TopoCentLb.map(&tasks, &topo);
+    let lb = TopoLb::default().map(&tasks, &topo);
+
+    let mut rows = Vec::new();
+    for bw_100mb in 1..=10u32 {
+        let mut cfg = NetworkConfig::default().with_bandwidth(bw_100mb as f64 * 100.0e6);
+        cfg.nic = NicModel::PerLink; // BigNetSim-style router-centric model (see DESIGN.md)
+        let s_rnd = Simulation::run(&topo, &cfg, &tr, &random);
+        let s_cent = Simulation::run(&topo, &cfg, &tr, &cent);
+        let s_lb = Simulation::run(&topo, &cfg, &tr, &lb);
+        rows.push(vec![
+            bw_100mb.to_string(),
+            f2(s_rnd.avg_latency_us()),
+            f2(s_cent.avg_latency_us()),
+            f2(s_lb.avg_latency_us()),
+        ]);
+        eprintln!("[fig7] {bw_100mb}00 MB/s done");
+    }
+
+    print_table(
+        "Figure 7: 2D-mesh on 64-node 3D-torus — average message latency (us)",
+        &["BW (100s of MB/s)", "Random (GreedyLB)", "TopoCentLB", "TopoLB"],
+        &rows,
+    );
+    let zoom: Vec<Vec<String>> = rows.iter().skip(3).cloned().collect();
+    print_table(
+        "Figure 8 (zoom): un-congested region (>= 400 MB/s)",
+        &["BW (100s of MB/s)", "Random (GreedyLB)", "TopoCentLB", "TopoLB"],
+        &zoom,
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 1: time for 200 iterations of a 3D Jacobi-like program under the
+//! optimal mapping vs a random mapping, for message sizes 1KB–1MB.
+//!
+//! 512 elements in an 8×8×8 3D-mesh pattern on 512 processors connected
+//! as an 8×8×8 3D-mesh (the paper's BlueGene prototype setup), driven
+//! through the packet simulator with BG/L-like constants. The optimal
+//! mapping is "a simple isomorphism mapping" — the identity.
+//!
+//! Run: `cargo run -p topomap-bench --release --bin exp_table1 [--full]`
+
+use topomap_bench::{f2, fmt_time_ns, full_mode, print_table};
+use topomap_core::{IdentityMap, Mapper, RandomMap};
+use topomap_netsim::{bluegene, trace, Simulation};
+use topomap_taskgraph::gen;
+
+fn main() {
+    let iterations = if full_mode() { 200 } else { 50 };
+    let msg_sizes: &[(u64, &str)] = &[
+        (1 << 10, "1KB"),
+        (10 << 10, "10KB"),
+        (100 << 10, "100KB"),
+        (500 << 10, "500KB"),
+        (1 << 20, "1MB"),
+    ];
+
+    let topo = bluegene::bluegene_machine(512, false); // 3D-mesh, as Table 1
+    // Calibration against the paper's absolute row heights: its optimal-
+    // mapping time at 1KB is ~235us/iteration, which on early BG/L is
+    // dominated by per-message MPI software overhead and the Jacobi
+    // compute, not by wire time. We model that with ~10us of sender
+    // overhead per message and ~150us of compute per iteration; the
+    // network parameters stay the BG/L link constants.
+    let mut cfg = bluegene::bluegene_config();
+    cfg.send_overhead_ns = 10_000;
+    let compute_ns = 150_000;
+
+    let mut rows = Vec::new();
+    for &(bytes, label) in msg_sizes {
+        // Edge weight = total of the bidirectional exchange = 2 * msg.
+        let tasks = gen::stencil3d(8, 8, 8, 2.0 * bytes as f64, false);
+        let tr = trace::stencil_trace(&tasks, iterations, compute_ns);
+
+        let opt = Simulation::run(&topo, &cfg, &tr, &IdentityMap.map(&tasks, &topo));
+        let rnd = Simulation::run(&topo, &cfg, &tr, &RandomMap::new(1).map(&tasks, &topo));
+
+        rows.push(vec![
+            label.to_string(),
+            fmt_time_ns(rnd.completion_ns),
+            fmt_time_ns(opt.completion_ns),
+            f2(rnd.completion_ns as f64 / opt.completion_ns as f64),
+        ]);
+        eprintln!("[table1] {label} done");
+    }
+
+    print_table(
+        &format!("Table 1: {iterations} iterations of 3D-Jacobi on 512-proc 3D-mesh (BG/L-like)"),
+        &["Message Size", "Random Mapping", "Optimal Mapping", "Random/Optimal"],
+        &rows,
+    );
+    println!(
+        "\nPaper (200 iters, real BlueGene): ratios grow from 1.2x at 1KB to\n\
+         ~2.6x at 1MB as contention dominates. The reproduced ratios should\n\
+         show the same monotone growth with message size."
+    );
+}

@@ -1,0 +1,42 @@
+//! Run every experiment in sequence (Table 1 and Figures 1–11 plus the
+//! ablations), forwarding `--full` to each.
+//!
+//! Run: `cargo run -p topomap-bench --release --bin run_all [--full]`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_fig1_2",
+    "exp_fig3_4",
+    "exp_fig5_6",
+    "exp_fig7_8",
+    "exp_fig9",
+    "exp_fig10_11",
+    "exp_ablation",
+    "exp_physopt",
+    "exp_routing",
+];
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let bindir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n######## {name} ########");
+        let status = Command::new(bindir.join(name))
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The four subcommands.
+
+use crate::args::Args;
+use crate::specs;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use topomap_core::{metrics, Mapping};
+use topomap_netsim::{trace, NetworkConfig, Simulation};
+use topomap_taskgraph::io as tgio;
+
+pub const USAGE: &str = "\
+topomap — topology-aware task mapping (IPDPS'06 reproduction)
+
+USAGE:
+  topomap gen      --pattern SPEC [--bytes N] [--seed S] --out FILE
+  topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S] [--out FILE]
+  topomap eval     --topology SPEC --tasks FILE --mapping FILE
+  topomap simulate --topology SPEC --tasks FILE --mapping FILE
+                   [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
+  topomap help
+
+SPECS:
+  topology: torus:8x8x8 | mesh:4x4 | hypercube:6 | ring:16 | star:9
+            | crossbar:8 | fattree:ARITY:LEVELS
+  pattern:  stencil2d:16x16 | pstencil2d:8x8 (periodic) | stencil3d:8x8x8
+            | leanmd:64 | ring:32 | all2all:16 | butterfly:64 | transpose:8
+            | sweep2d:6x6 | tree:32 | random:N:AVGDEG
+  mapper:   random | topolb | topolb-first | topolb-third | topocentlb
+            | refine | identity | linear | anneal | genetic
+";
+
+/// On-disk mapping format.
+#[derive(Debug, Serialize, Deserialize)]
+struct MappingFile {
+    num_procs: usize,
+    proc_of_task: Vec<usize>,
+}
+
+fn save_json<T: Serialize>(value: &T, path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(f), value)
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn load_mapping(path: &str) -> Result<Mapping, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mf: MappingFile = serde_json::from_reader(std::io::BufReader::new(f))
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(Mapping::new(mf.proc_of_task, mf.num_procs))
+}
+
+/// `topomap gen` — generate a workload task graph and write it as JSON.
+pub fn cmd_gen(args: &Args) -> Result<String, String> {
+    let pattern = args.required("pattern")?;
+    let bytes: f64 = args.parsed_or("bytes", 1024.0)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let out = args.required("out")?;
+    let g = specs::parse_pattern(pattern, bytes, seed)?;
+    tgio::save(&g, out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({} tasks, {} edges, {:.1} KiB per iteration)\n",
+        out,
+        g.num_tasks(),
+        g.num_edges(),
+        g.total_comm() / 1024.0
+    ))
+}
+
+/// `topomap map` — map a task graph onto a machine.
+pub fn cmd_map(args: &Args) -> Result<String, String> {
+    let topo = specs::parse_topology(args.required("topology")?)?;
+    let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let mapper = specs::parse_mapper(args.required("mapper")?, seed)?;
+    let t = topo.as_topology();
+    if tasks.num_tasks() > t.num_nodes() {
+        return Err(format!(
+            "{} tasks need partitioning onto {} processors first; \
+             pre-partition with the library's two_phase pipeline",
+            tasks.num_tasks(),
+            t.num_nodes()
+        ));
+    }
+    let mapping = mapper.map(&tasks, t);
+    let q = metrics::quality(&tasks, t, &mapping);
+    let mut out = String::new();
+    let _ = writeln!(out, "mapper:        {}", mapper.name());
+    let _ = writeln!(out, "machine:       {}", t.name());
+    let _ = writeln!(out, "hops-per-byte: {:.4}", q.hops_per_byte);
+    let _ = writeln!(out, "hop-bytes:     {:.1}", q.hop_bytes);
+    let _ = writeln!(out, "max dilation:  {}", q.max_dilation);
+    if let Some(path) = args.optional("out") {
+        save_json(
+            &MappingFile {
+                num_procs: t.num_nodes(),
+                proc_of_task: mapping.as_slice().to_vec(),
+            },
+            path,
+        )?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+/// `topomap eval` — evaluate an existing mapping.
+pub fn cmd_eval(args: &Args) -> Result<String, String> {
+    let topo = specs::parse_topology(args.required("topology")?)?;
+    let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
+    let mapping = load_mapping(args.required("mapping")?)?;
+    let t = topo.as_topology();
+    let q = metrics::quality(&tasks, t, &mapping);
+    let mut out = String::new();
+    let _ = writeln!(out, "machine:          {}", t.name());
+    let _ = writeln!(out, "tasks:            {}", tasks.num_tasks());
+    let _ = writeln!(out, "hops-per-byte:    {:.4}", q.hops_per_byte);
+    let _ = writeln!(out, "hop-bytes:        {:.1}", q.hop_bytes);
+    let _ = writeln!(out, "max dilation:     {}", q.max_dilation);
+    let _ = writeln!(out, "median dilation:  {}", q.median_dilation);
+    let _ = writeln!(out, "local fraction:   {:.3}", q.local_fraction);
+    // Per-link loads when the machine supports routing.
+    if let Ok(routed) = topo.as_routed() {
+        let ll = metrics::LinkLoads::compute(&tasks, routed, &mapping);
+        let _ = writeln!(out, "max link load:    {:.1} bytes", ll.max_load());
+        let _ = writeln!(out, "avg link load:    {:.1} bytes", ll.avg_load());
+        let _ = writeln!(out, "idle links:       {:.1}%", 100.0 * ll.idle_fraction());
+    }
+    Ok(out)
+}
+
+/// `topomap simulate` — replay the stencil-style trace of the workload
+/// through the packet simulator under the given mapping.
+pub fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let topo = specs::parse_topology(args.required("topology")?)?;
+    let routed = topo.as_routed()?;
+    let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
+    let mapping = load_mapping(args.required("mapping")?)?;
+    let iterations: usize = args.parsed_or("iterations", 100)?;
+    let bandwidth_mbps: f64 = args.parsed_or("bandwidth-mbps", 500.0)?;
+    let compute_ns: u64 = args.parsed_or("compute-ns", 5_000)?;
+
+    let tr = trace::stencil_trace(&tasks, iterations, compute_ns);
+    tr.check_matched().map_err(|(a, b)| format!("trace mismatch between {a} and {b}"))?;
+    let cfg = NetworkConfig::default().with_bandwidth(bandwidth_mbps * 1e6);
+    let s = Simulation::run(routed, &cfg, &tr, &mapping);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "machine:            {}", routed.name());
+    let _ = writeln!(out, "iterations:         {iterations}");
+    let _ = writeln!(out, "bandwidth:          {bandwidth_mbps} MB/s");
+    let _ = writeln!(out, "completion:         {:.3} ms", s.completion_ms());
+    let _ = writeln!(out, "avg msg latency:    {:.2} us", s.avg_latency_us());
+    let _ = writeln!(out, "p99 msg latency:    {:.2} us", s.p99_latency_ns as f64 / 1e3);
+    let _ = writeln!(out, "avg hops:           {:.3}", s.avg_hops);
+    let _ = writeln!(out, "network messages:   {}", s.network_messages);
+    let _ = writeln!(out, "max link util:      {:.3}", s.max_link_utilization);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("topomap-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_map_eval_simulate_roundtrip() {
+        let tasks_path = tmp("tasks.json");
+        let map_path = tmp("mapping.json");
+
+        let out = cmd_gen(&args(&[
+            "--pattern", "stencil2d:4x4", "--bytes", "2048", "--out", &tasks_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("16 tasks"));
+
+        let out = cmd_map(&args(&[
+            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapper", "topolb",
+            "--out", &map_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
+
+        let out = cmd_eval(&args(&[
+            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapping", &map_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("max dilation:     1"), "{out}");
+
+        let out = cmd_simulate(&args(&[
+            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapping", &map_path,
+            "--iterations", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("completion:"), "{out}");
+        assert!(out.contains("avg hops:           1.000"), "{out}");
+    }
+
+    #[test]
+    fn map_rejects_oversized_workload() {
+        let tasks_path = tmp("big.json");
+        cmd_gen(&args(&["--pattern", "stencil2d:5x5", "--out", &tasks_path])).unwrap();
+        let err = cmd_map(&args(&[
+            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapper", "topolb",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn simulate_rejects_metric_only_topology() {
+        let tasks_path = tmp("ft-tasks.json");
+        let map_path = tmp("ft-map.json");
+        cmd_gen(&args(&["--pattern", "stencil2d:4x4", "--out", &tasks_path])).unwrap();
+        cmd_map(&args(&[
+            "--topology", "fattree:4:2", "--tasks", &tasks_path, "--mapper", "topolb",
+            "--out", &map_path,
+        ]))
+        .unwrap();
+        let err = cmd_simulate(&args(&[
+            "--topology", "fattree:4:2", "--tasks", &tasks_path, "--mapping", &map_path,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("metric-only"), "{err}");
+    }
+
+    #[test]
+    fn eval_works_on_metric_only_topology_without_link_loads() {
+        let tasks_path = tmp("ft2-tasks.json");
+        let map_path = tmp("ft2-map.json");
+        cmd_gen(&args(&["--pattern", "ring:8", "--out", &tasks_path])).unwrap();
+        cmd_map(&args(&[
+            "--topology", "fattree:2:3", "--tasks", &tasks_path, "--mapper", "topocentlb",
+            "--out", &map_path,
+        ]))
+        .unwrap();
+        let out = cmd_eval(&args(&[
+            "--topology", "fattree:2:3", "--tasks", &tasks_path, "--mapping", &map_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("hops-per-byte"));
+        assert!(!out.contains("max link load"), "no link loads for metric-only");
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        assert!(cmd_gen(&args(&["--out", "/tmp/x"])).is_err());
+        assert!(cmd_map(&args(&["--topology", "torus:2x2"])).is_err());
+    }
+}

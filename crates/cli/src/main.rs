@@ -1,0 +1,4 @@
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(topomap_cli::run(&argv));
+}

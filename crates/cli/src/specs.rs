@@ -1,0 +1,246 @@
+//! Compact string specs for machines, workloads, and mappers.
+//!
+//! | kind | examples |
+//! |------|----------|
+//! | topology | `torus:8x8`, `mesh:4x4x4`, `hypercube:6`, `ring:16`, `star:9`, `crossbar:8`, `fattree:4:3` |
+//! | pattern | `stencil2d:16x16`, `stencil3d:8x8x8`, `pstencil2d:8x8` (periodic), `leanmd:64`, `ring:32`, `all2all:16`, `butterfly:64`, `transpose:8`, `sweep2d:6x6`, `tree:32`, `random:100:4` |
+//! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic` |
+
+use topomap_core::{
+    EstimationOrder, GeneticMap, IdentityMap, LinearOrderMap, Mapper, RandomMap, RefineTopoLb,
+    SimulatedAnnealingMap, TopoCentLb, TopoLb,
+};
+use topomap_taskgraph::{gen, TaskGraph};
+use topomap_topology::{FatTree, GraphTopology, Hypercube, RoutedTopology, Topology, Torus};
+
+/// Parse `AxBxC` into dimension sizes.
+fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
+    let dims = dims.map_err(|_| format!("bad dimension list '{s}'"))?;
+    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        return Err(format!("bad dimension list '{s}'"));
+    }
+    Ok(dims)
+}
+
+/// A parsed topology, split by capability: `simulate` needs routing,
+/// `map`/`eval` only need the metric.
+pub enum ParsedTopology {
+    Routed(Box<dyn RoutedTopology>),
+    MetricOnly(Box<dyn Topology>),
+}
+
+impl ParsedTopology {
+    pub fn as_topology(&self) -> &dyn Topology {
+        match self {
+            ParsedTopology::Routed(t) => t,
+            ParsedTopology::MetricOnly(t) => t.as_ref(),
+        }
+    }
+
+    pub fn as_routed(&self) -> Result<&dyn RoutedTopology, String> {
+        match self {
+            ParsedTopology::Routed(t) => Ok(t.as_ref()),
+            ParsedTopology::MetricOnly(t) => Err(format!(
+                "topology '{}' is metric-only (no per-link routing); it cannot be simulated",
+                t.name()
+            )),
+        }
+    }
+}
+
+/// Parse a topology spec.
+pub fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let routed = |t: Box<dyn RoutedTopology>| Ok(ParsedTopology::Routed(t));
+    match kind {
+        "torus" => routed(Box::new(Torus::torus(&parse_dims(rest)?))),
+        "mesh" => routed(Box::new(Torus::mesh(&parse_dims(rest)?))),
+        "hypercube" => {
+            let d: u32 = rest.parse().map_err(|_| format!("bad hypercube dims '{rest}'"))?;
+            routed(Box::new(Hypercube::new(d)))
+        }
+        "ring" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad ring size '{rest}'"))?;
+            routed(Box::new(GraphTopology::ring(n)))
+        }
+        "star" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad star size '{rest}'"))?;
+            routed(Box::new(GraphTopology::star(n)))
+        }
+        "crossbar" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad crossbar size '{rest}'"))?;
+            routed(Box::new(GraphTopology::complete(n)))
+        }
+        "fattree" => {
+            let (a, l) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("fattree spec is fattree:ARITY:LEVELS, got '{rest}'"))?;
+            let arity: usize = a.parse().map_err(|_| "bad fattree arity".to_string())?;
+            let levels: u32 = l.parse().map_err(|_| "bad fattree levels".to_string())?;
+            Ok(ParsedTopology::MetricOnly(Box::new(FatTree::new(arity, levels))))
+        }
+        other => Err(format!(
+            "unknown topology kind '{other}' (try torus/mesh/hypercube/ring/star/crossbar/fattree)"
+        )),
+    }
+}
+
+/// Parse a workload pattern spec into a task graph. `bytes` scales the
+/// per-message volume; `seed` feeds the random families.
+pub fn parse_pattern(spec: &str, bytes: f64, seed: u64) -> Result<TaskGraph, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "stencil2d" | "pstencil2d" => {
+            let d = parse_dims(rest)?;
+            if d.len() != 2 {
+                return Err(format!("{kind} needs WxH, got '{rest}'"));
+            }
+            Ok(gen::stencil2d(d[0], d[1], 2.0 * bytes, kind == "pstencil2d"))
+        }
+        "stencil3d" | "pstencil3d" => {
+            let d = parse_dims(rest)?;
+            if d.len() != 3 {
+                return Err(format!("{kind} needs XxYxZ, got '{rest}'"));
+            }
+            Ok(gen::stencil3d(d[0], d[1], d[2], 2.0 * bytes, kind == "pstencil3d"))
+        }
+        "leanmd" => {
+            let p: usize = rest.parse().map_err(|_| format!("bad leanmd size '{rest}'"))?;
+            Ok(gen::leanmd(
+                p,
+                &gen::LeanMdConfig { coord_bytes: bytes, seed, ..Default::default() },
+            ))
+        }
+        "ring" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad ring size '{rest}'"))?;
+            Ok(gen::ring(n, bytes))
+        }
+        "all2all" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad all2all size '{rest}'"))?;
+            Ok(gen::all_to_all(n, bytes))
+        }
+        "butterfly" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad butterfly size '{rest}'"))?;
+            Ok(gen::butterfly(n, bytes))
+        }
+        "transpose" => {
+            let s: usize = rest.parse().map_err(|_| format!("bad transpose side '{rest}'"))?;
+            Ok(gen::transpose(s, bytes))
+        }
+        "sweep2d" => {
+            let d = parse_dims(rest)?;
+            if d.len() != 2 {
+                return Err(format!("sweep2d needs WxH, got '{rest}'"));
+            }
+            Ok(gen::sweep2d(d[0], d[1], bytes))
+        }
+        "tree" => {
+            let n: usize = rest.parse().map_err(|_| format!("bad tree size '{rest}'"))?;
+            Ok(gen::reduction_tree(n, bytes))
+        }
+        "random" => {
+            let (n, deg) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("random spec is random:N:AVGDEG, got '{rest}'"))?;
+            let n: usize = n.parse().map_err(|_| "bad random size".to_string())?;
+            let deg: f64 = deg.parse().map_err(|_| "bad random degree".to_string())?;
+            Ok(gen::random_graph(n, deg, 0.5 * bytes, 1.5 * bytes, seed))
+        }
+        other => Err(format!("unknown pattern kind '{other}'")),
+    }
+}
+
+/// Resolve a mapper spec.
+pub fn parse_mapper(spec: &str, seed: u64) -> Result<Box<dyn Mapper>, String> {
+    match spec {
+        "random" => Ok(Box::new(RandomMap::new(seed))),
+        "topolb" => Ok(Box::new(TopoLb::default())),
+        "topolb-first" => Ok(Box::new(TopoLb::new(EstimationOrder::First))),
+        "topolb-third" => Ok(Box::new(TopoLb::new(EstimationOrder::Third))),
+        "topocentlb" => Ok(Box::new(TopoCentLb)),
+        "refine" => Ok(Box::new(RefineTopoLb::new(TopoLb::default()))),
+        "identity" => Ok(Box::new(IdentityMap)),
+        "linear" => Ok(Box::new(LinearOrderMap::bfs())),
+        "anneal" => Ok(Box::new(SimulatedAnnealingMap::new(seed))),
+        "genetic" => Ok(Box::new(GeneticMap::new(seed))),
+        other => Err(format!(
+            "unknown mapper '{other}' (try random/topolb/topolb-first/topolb-third/\
+             topocentlb/refine/identity/linear/anneal/genetic)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_parse() {
+        for (spec, n) in [
+            ("torus:4x4", 16),
+            ("mesh:2x3x4", 24),
+            ("hypercube:5", 32),
+            ("ring:7", 7),
+            ("star:5", 5),
+            ("crossbar:6", 6),
+            ("fattree:2:3", 8),
+        ] {
+            let t = parse_topology(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(t.as_topology().num_nodes(), n, "{spec}");
+        }
+    }
+
+    #[test]
+    fn fattree_is_metric_only() {
+        let t = parse_topology("fattree:4:2").unwrap();
+        assert!(t.as_routed().is_err());
+        assert!(parse_topology("torus:4x4").unwrap().as_routed().is_ok());
+    }
+
+    #[test]
+    fn bad_topology_specs_rejected() {
+        for spec in ["torus:0x4", "torus:", "nope:3", "hypercube:x", "fattree:4"] {
+            assert!(parse_topology(spec).is_err(), "{spec} should fail");
+        }
+    }
+
+    #[test]
+    fn pattern_specs_parse() {
+        for (spec, n) in [
+            ("stencil2d:4x4", 16),
+            ("pstencil2d:4x4", 16),
+            ("stencil3d:2x2x2", 8),
+            ("ring:9", 9),
+            ("all2all:5", 5),
+            ("butterfly:8", 8),
+            ("transpose:3", 9),
+            ("sweep2d:3x3", 9),
+            ("tree:10", 10),
+            ("random:20:3", 20),
+        ] {
+            let g = parse_pattern(spec, 1000.0, 1).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(g.num_tasks(), n, "{spec}");
+        }
+        let md = parse_pattern("leanmd:8", 1000.0, 1).unwrap();
+        assert_eq!(md.num_tasks(), 3240 + 8);
+    }
+
+    #[test]
+    fn periodic_vs_open_stencil_differ() {
+        let open = parse_pattern("stencil2d:4x4", 1.0, 0).unwrap();
+        let per = parse_pattern("pstencil2d:4x4", 1.0, 0).unwrap();
+        assert!(per.num_edges() > open.num_edges());
+    }
+
+    #[test]
+    fn mapper_specs_parse() {
+        for spec in [
+            "random", "topolb", "topolb-first", "topolb-third", "topocentlb", "refine",
+            "identity", "linear", "anneal", "genetic",
+        ] {
+            assert!(parse_mapper(spec, 1).is_ok(), "{spec}");
+        }
+        assert!(parse_mapper("bogus", 1).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests that spawn the actual `topomap` binary.
+
+use std::process::Command;
+
+fn topomap(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_topomap"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("topomap-bin-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let tasks = tmp("t.json");
+    let mapping = tmp("m.json");
+
+    let (ok, out, err) = topomap(&[
+        "gen", "--pattern", "stencil2d:6x6", "--bytes", "2048", "--out", &tasks,
+    ]);
+    assert!(ok, "gen failed: {err}");
+    assert!(out.contains("36 tasks"), "{out}");
+
+    let (ok, out, err) = topomap(&[
+        "map", "--topology", "torus:6x6", "--tasks", &tasks, "--mapper", "topolb",
+        "--out", &mapping,
+    ]);
+    assert!(ok, "map failed: {err}");
+    assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
+
+    let (ok, out, err) = topomap(&[
+        "eval", "--topology", "torus:6x6", "--tasks", &tasks, "--mapping", &mapping,
+    ]);
+    assert!(ok, "eval failed: {err}");
+    assert!(out.contains("local fraction:   1.000"), "{out}");
+
+    let (ok, out, err) = topomap(&[
+        "simulate", "--topology", "torus:6x6", "--tasks", &tasks, "--mapping", &mapping,
+        "--iterations", "3", "--bandwidth-mbps", "200",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    assert!(out.contains("network messages:   "), "{out}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_usage() {
+    let (ok, _out, err) = topomap(&["map", "--topology", "nonsense:3"]);
+    assert!(!ok);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+
+    let (ok, _, _) = topomap(&[]);
+    assert!(!ok, "no subcommand must fail");
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, out, _) = topomap(&["help"]);
+    assert!(ok);
+    assert!(out.contains("SPECS"));
+}

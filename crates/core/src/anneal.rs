@@ -1,0 +1,216 @@
+//! Simulated-annealing mapping — the "physical optimization" comparison
+//! point.
+//!
+//! The paper's introduction: "Two kinds of algorithms have been developed
+//! in the past ... Heuristic algorithms and Physical optimization
+//! algorithms. Though physical optimization algorithms produce
+//! high-quality solutions (better than heuristic algorithms), they tend
+//! to be very slow." (§1, citing Bollinger & Midkiff's process-annealing
+//! phase \[6\]).
+//!
+//! [`SimulatedAnnealingMap`] implements the classic scheme over the
+//! hop-bytes objective: start from a seed mapping, propose random task
+//! swaps (or moves to free processors), accept improvements always and
+//! regressions with probability `exp(-Δ/T)`, cool geometrically. The
+//! `exp_physopt` bench quantifies the paper's quality-vs-time trade-off
+//! against TopoLB.
+
+use crate::refine::swap_delta;
+use crate::{metrics, Mapper, Mapping, RandomMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topomap_taskgraph::TaskGraph;
+use topomap_topology::Topology;
+
+/// Simulated-annealing mapper over hop-bytes.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealingMap {
+    /// RNG seed (deterministic per seed).
+    pub seed: u64,
+    /// Swap proposals per temperature step.
+    pub moves_per_temp: usize,
+    /// Initial temperature as a fraction of the seed mapping's hop-bytes
+    /// per edge (scale-free across workloads).
+    pub initial_temp_factor: f64,
+    /// Geometric cooling rate per temperature step (e.g. 0.95).
+    pub cooling: f64,
+    /// Stop once temperature falls below this fraction of the initial.
+    pub min_temp_fraction: f64,
+}
+
+impl Default for SimulatedAnnealingMap {
+    fn default() -> Self {
+        SimulatedAnnealingMap {
+            seed: 0xA11EA1,
+            moves_per_temp: 400,
+            initial_temp_factor: 2.0,
+            cooling: 0.95,
+            min_temp_fraction: 1e-3,
+        }
+    }
+}
+
+impl SimulatedAnnealingMap {
+    pub fn new(seed: u64) -> Self {
+        SimulatedAnnealingMap { seed, ..Default::default() }
+    }
+
+    /// A lighter configuration for tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        SimulatedAnnealingMap {
+            seed,
+            moves_per_temp: 100,
+            cooling: 0.90,
+            ..Default::default()
+        }
+    }
+}
+
+impl Mapper for SimulatedAnnealingMap {
+    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
+        let n = tasks.num_tasks();
+        let p = topo.num_nodes();
+        assert!(n <= p, "need at least as many processors as tasks");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Seed from random placement (the classic SA setup; seeding from
+        // TopoLB would conflate the comparison).
+        let mut m = RandomMap::new(self.seed ^ 0x5eed).map(tasks, topo);
+        let mut best = m.clone();
+        let mut cur_hb = metrics::hop_bytes(tasks, topo, &m);
+        let mut best_hb = cur_hb;
+
+        if n < 2 || tasks.num_edges() == 0 {
+            return m;
+        }
+
+        // Scale-free initial temperature: proportional to the average
+        // per-edge hop-bytes of the seed.
+        let t0 = self.initial_temp_factor * cur_hb / tasks.num_edges() as f64;
+        let mut temp = t0;
+        let t_min = t0 * self.min_temp_fraction;
+
+        while temp > t_min {
+            for _ in 0..self.moves_per_temp {
+                let a = rng.gen_range(0..n);
+                // Candidate partner: another task (swap), or a free
+                // processor (move) when the machine has spare nodes.
+                let delta;
+                enum Move {
+                    Swap(usize),
+                    Relocate(usize),
+                }
+                let mv = if p > n && rng.gen_bool(0.25) {
+                    // Pick a random free processor by rejection sampling
+                    // (free fraction is at least (p-n)/p).
+                    let q = loop {
+                        let q = rng.gen_range(0..p);
+                        if m.task_on(q).is_none() {
+                            break q;
+                        }
+                    };
+                    delta = move_cost(tasks, topo, &m, a, q);
+                    Move::Relocate(q)
+                } else {
+                    let mut b = rng.gen_range(0..n);
+                    if b == a {
+                        b = (b + 1) % n;
+                    }
+                    delta = swap_delta(tasks, topo, &m, a, b);
+                    Move::Swap(b)
+                };
+
+                let accept = delta < 0.0 || rng.gen_bool((-delta / temp).exp().min(1.0));
+                if accept {
+                    match mv {
+                        Move::Swap(b) => m.swap_tasks(a, b),
+                        Move::Relocate(q) => m.move_task(a, q),
+                    }
+                    cur_hb += delta;
+                    if cur_hb < best_hb {
+                        best_hb = cur_hb;
+                        best = m.clone();
+                    }
+                }
+            }
+            temp *= self.cooling;
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        "SimAnneal".to_string()
+    }
+}
+
+/// Hop-byte change from relocating task `t` to free processor `q`.
+fn move_cost(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, t: usize, q: usize) -> f64 {
+    let pt = m.proc_of(t);
+    tasks
+        .neighbors(t)
+        .map(|(j, c)| {
+            let pj = m.proc_of(j);
+            c * (topo.distance(q, pj) as f64 - topo.distance(pt, pj) as f64)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    #[test]
+    fn beats_its_own_random_seed() {
+        let tasks = gen::stencil2d(5, 5, 100.0, false);
+        let topo = Torus::torus_2d(5, 5);
+        let sa = SimulatedAnnealingMap::quick(3).map(&tasks, &topo);
+        let seed = RandomMap::new(3 ^ 0x5eed).map(&tasks, &topo);
+        let h_sa = metrics::hop_bytes(&tasks, &topo, &sa);
+        let h_seed = metrics::hop_bytes(&tasks, &topo, &seed);
+        assert!(h_sa < 0.6 * h_seed, "SA {h_sa} vs seed {h_seed}");
+    }
+
+    #[test]
+    fn near_optimal_on_small_stencil() {
+        // SA should find (near-)dilation-1 embeddings of a 4x4 mesh in a
+        // 4x4 torus given enough moves.
+        let tasks = gen::stencil2d(4, 4, 100.0, false);
+        let topo = Torus::torus_2d(4, 4);
+        let m = SimulatedAnnealingMap::new(1).map(&tasks, &topo);
+        let hpb = metrics::hops_per_byte(&tasks, &topo, &m);
+        assert!(hpb <= 1.35, "SA hpb {hpb}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tasks = gen::random_graph(16, 3.0, 1.0, 100.0, 7);
+        let topo = Torus::torus_2d(4, 4);
+        let a = SimulatedAnnealingMap::quick(9).map(&tasks, &topo);
+        let b = SimulatedAnnealingMap::quick(9).map(&tasks, &topo);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uses_free_processors() {
+        // 2 heavy communicators on an 8-node line with 6 free nodes:
+        // relocation moves must bring them adjacent.
+        let mut b = TaskGraph::builder(2);
+        b.add_comm(0, 1, 1000.0);
+        let tasks = b.build();
+        let topo = Torus::mesh_1d(8);
+        let m = SimulatedAnnealingMap::new(5).map(&tasks, &topo);
+        assert_eq!(topo.distance(m.proc_of(0), m.proc_of(1)), 1);
+    }
+
+    use topomap_taskgraph::TaskGraph;
+
+    #[test]
+    fn edgeless_graph_short_circuits() {
+        let tasks = TaskGraph::builder(4).build();
+        let topo = Torus::torus_2d(2, 2);
+        let m = SimulatedAnnealingMap::new(1).map(&tasks, &topo);
+        assert_eq!(m.num_tasks(), 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! Estimation functions for TopoLB (§4.3 of the paper).
+//!
+//! During iteration `k` of the mapping algorithm only a *partial* mapping
+//! exists. The estimation function `fest(t, p, P)` approximates the
+//! contribution of task `t` to the overall hop-bytes if it were placed on
+//! free processor `p` now:
+//!
+//! - **First order** — drop terms for unplaced tasks:
+//!   `fest = Σ_{j ∈ assigned} c_tj · d(p, P(j))`.
+//! - **Second order** — assume unplaced neighbors land on a uniformly
+//!   random processor of the whole machine:
+//!   `fest = Σ_{j ∈ assigned} c_tj · d(p, P(j)) + Σ_{j ∈ unassigned} c_tj · avg_Vp(p)`
+//!   where `avg_Vp(p) = Σ_q d(p,q)/|Vp|`. This is the order TopoLB ships
+//!   with (O(p·|Et|) total update cost).
+//! - **Third order** — assume unplaced neighbors land on a uniformly
+//!   random *free* processor: replaces `avg_Vp(p)` with
+//!   `avg_Pk(p) = Σ_{q ∈ Pk} d(p,q)/|Pk|`, tracked incrementally. Tighter,
+//!   but O(p²) per iteration (O(p³) total), as analyzed in §4.4.
+//!
+//! [`EstimationState`] maintains the `p × p` table of `fest` values
+//! incrementally together with the per-task minimum (`FMin`) and sum
+//! (`FSum`, giving `FAvg`) over free processors, exactly the bookkeeping
+//! the paper describes for its complexity bounds.
+
+use topomap_taskgraph::{TaskGraph, TaskId};
+use topomap_topology::{stats::AvgDistTable, NodeId, Topology};
+
+/// Which approximation of §4.3 to use for unplaced-neighbor terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EstimationOrder {
+    /// Ignore unplaced neighbors entirely.
+    First,
+    /// Unplaced neighbors at the machine-wide average distance (the
+    /// paper's production choice).
+    #[default]
+    Second,
+    /// Unplaced neighbors at the average distance over *free* processors.
+    Third,
+}
+
+impl EstimationOrder {
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimationOrder::First => "first-order",
+            EstimationOrder::Second => "second-order",
+            EstimationOrder::Third => "third-order",
+        }
+    }
+}
+
+/// Incrementally maintained estimation table for one mapping run.
+pub struct EstimationState<'a> {
+    tasks: &'a TaskGraph,
+    topo: &'a dyn Topology,
+    order: EstimationOrder,
+    p: usize,
+    /// `assigned_contrib[t * p + q]` = Σ over *assigned* neighbors j of t
+    /// of `c_tj · d(q, P(j))`. Only entries with `t` unassigned and `q`
+    /// free are ever read.
+    assigned_contrib: Vec<f64>,
+    /// Total edge weight from t to its still-unassigned neighbors.
+    unassigned_wgt: Vec<f64>,
+    /// Machine-wide average distance table (second order).
+    avg_all: AvgDistTable,
+    /// Σ_{q ∈ free} d(r, q) for each processor r (third order only).
+    sum_free: Vec<f64>,
+    free: Vec<NodeId>,
+    free_pos: Vec<usize>,
+    unassigned: Vec<TaskId>,
+    unassigned_pos: Vec<usize>,
+    /// Per-task FMin value and its argmin processor over free procs.
+    fmin: Vec<f64>,
+    fmin_proc: Vec<NodeId>,
+    /// Per-task Σ of fest over free procs (FAvg = fsum / |free|).
+    fsum: Vec<f64>,
+    /// Placement of assigned tasks.
+    placement: Vec<NodeId>,
+}
+
+impl<'a> EstimationState<'a> {
+    pub fn new(tasks: &'a TaskGraph, topo: &'a dyn Topology, order: EstimationOrder) -> Self {
+        let n = tasks.num_tasks();
+        let p = topo.num_nodes();
+        assert!(n <= p, "need at least as many processors as tasks");
+        let avg_all = AvgDistTable::new(topo);
+        let sum_free = match order {
+            EstimationOrder::Third => (0..p).map(|r| avg_all.sum(r) as f64).collect(),
+            _ => Vec::new(),
+        };
+        let mut s = EstimationState {
+            tasks,
+            topo,
+            order,
+            p,
+            assigned_contrib: vec![0.0; n * p],
+            unassigned_wgt: (0..n).map(|t| tasks.weighted_degree(t)).collect(),
+            avg_all,
+            sum_free,
+            free: (0..p).collect(),
+            free_pos: (0..p).collect(),
+            unassigned: (0..n).collect(),
+            unassigned_pos: (0..n).collect(),
+            fmin: vec![0.0; n],
+            fmin_proc: vec![0; n],
+            fsum: vec![0.0; n],
+            placement: vec![usize::MAX; n],
+        };
+        for t in 0..n {
+            s.recompute_task_stats(t);
+        }
+        s
+    }
+
+    /// The per-byte distance assumed for an unplaced neighbor when the
+    /// candidate processor is `q`.
+    #[inline]
+    fn unplaced_factor(&self, q: NodeId) -> f64 {
+        match self.order {
+            EstimationOrder::First => 0.0,
+            EstimationOrder::Second => self.avg_all.avg(q),
+            EstimationOrder::Third => {
+                let f = self.free.len();
+                if f == 0 {
+                    0.0
+                } else {
+                    self.sum_free[q] / f as f64
+                }
+            }
+        }
+    }
+
+    /// Current `fest(t, q)` for unassigned task `t` and free processor `q`.
+    #[inline]
+    pub fn fest(&self, t: TaskId, q: NodeId) -> f64 {
+        debug_assert!(self.placement[t] == usize::MAX, "task already placed");
+        debug_assert!(self.free_pos[q] != usize::MAX, "processor not free");
+        self.assigned_contrib[t * self.p + q] + self.unassigned_wgt[t] * self.unplaced_factor(q)
+    }
+
+    /// Recompute `FMin`/`FSum` for task `t` by scanning the free list.
+    fn recompute_task_stats(&mut self, t: TaskId) {
+        let mut min = f64::INFINITY;
+        let mut argmin = usize::MAX;
+        let mut sum = 0.0;
+        for i in 0..self.free.len() {
+            let q = self.free[i];
+            let f = self.fest(t, q);
+            sum += f;
+            if f < min || (f == min && q < argmin) {
+                min = f;
+                argmin = q;
+            }
+        }
+        self.fmin[t] = min;
+        self.fmin_proc[t] = argmin;
+        self.fsum[t] = sum;
+    }
+
+    /// Gain of placing `t` now: `FAvg(t) − FMin(t)` (Algorithm 1's
+    /// criticality measure).
+    #[inline]
+    pub fn gain(&self, t: TaskId) -> f64 {
+        let f = self.free.len();
+        if f == 0 {
+            return 0.0;
+        }
+        self.fsum[t] / f as f64 - self.fmin[t]
+    }
+
+    /// The unassigned task with maximum gain (ties → lowest id).
+    pub fn select_task(&self) -> TaskId {
+        debug_assert!(!self.unassigned.is_empty());
+        let mut best_t = usize::MAX;
+        let mut best_gain = f64::NEG_INFINITY;
+        for &t in &self.unassigned {
+            let g = self.gain(t);
+            if g > best_gain || (g == best_gain && t < best_t) {
+                best_gain = g;
+                best_t = t;
+            }
+        }
+        best_t
+    }
+
+    /// The free processor where `t` costs least (ties → lowest id);
+    /// maintained incrementally, O(1).
+    #[inline]
+    pub fn best_proc(&self, t: TaskId) -> NodeId {
+        self.fmin_proc[t]
+    }
+
+    pub fn num_free(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn num_unassigned(&self) -> usize {
+        self.unassigned.len()
+    }
+
+    pub fn free_procs(&self) -> &[NodeId] {
+        &self.free
+    }
+
+    pub fn is_free(&self, q: NodeId) -> bool {
+        self.free_pos[q] != usize::MAX
+    }
+
+    /// Commit the placement `t → q` and update the table (the paper's
+    /// per-iteration update step; O(p·δ(t)) for orders one/two, O(p²) for
+    /// order three).
+    pub fn assign(&mut self, t: TaskId, q: NodeId) {
+        assert!(self.placement[t] == usize::MAX, "task {t} already placed");
+        assert!(self.free_pos[q] != usize::MAX, "processor {q} not free");
+        self.placement[t] = q;
+
+        // Remove t from unassigned (swap-remove keeps O(1)).
+        let ti = self.unassigned_pos[t];
+        let last = *self.unassigned.last().unwrap();
+        self.unassigned.swap_remove(ti);
+        if last != t {
+            self.unassigned_pos[last] = ti;
+        }
+        self.unassigned_pos[t] = usize::MAX;
+
+        // Remove q from free.
+        let qi = self.free_pos[q];
+        let lastq = *self.free.last().unwrap();
+        self.free.swap_remove(qi);
+        if lastq != q {
+            self.free_pos[lastq] = qi;
+        }
+        self.free_pos[q] = usize::MAX;
+
+        if self.unassigned.is_empty() {
+            return;
+        }
+
+        // Third order: the free-set average changes for every processor.
+        if self.order == EstimationOrder::Third {
+            for r in 0..self.p {
+                self.sum_free[r] -= self.topo.distance(r, q) as f64;
+            }
+        }
+
+        // Neighbors of t: their assigned contribution gains the c·d(·, q)
+        // term and their unassigned weight drops by c.
+        for (j, c) in self.tasks.neighbors(t) {
+            if self.placement[j] != usize::MAX {
+                continue;
+            }
+            self.unassigned_wgt[j] -= c;
+            let row = j * self.p;
+            for i in 0..self.free.len() {
+                let r = self.free[i];
+                self.assigned_contrib[row + r] += c * self.topo.distance(r, q) as f64;
+            }
+        }
+
+        match self.order {
+            EstimationOrder::Third => {
+                // Every fest value changed: recompute stats for all
+                // unassigned tasks (O(p²) per iteration, §4.4).
+                for i in 0..self.unassigned.len() {
+                    let u = self.unassigned[i];
+                    self.recompute_task_stats(u);
+                }
+            }
+            _ => {
+                // Neighbors changed everywhere: full recompute for them.
+                // Other tasks only lost processor q from the free set:
+                // subtract its fest from FSum; recompute FMin only if its
+                // argmin was q.
+                for i in 0..self.unassigned.len() {
+                    let u = self.unassigned[i];
+                    let is_neighbor = self.tasks.neighbors(t).any(|(j, _)| j == u);
+                    if is_neighbor {
+                        self.recompute_task_stats(u);
+                    } else {
+                        // fest(u, q) with q now removed: reconstruct the
+                        // value it had (assigned_contrib row still valid).
+                        let old = self.assigned_contrib[u * self.p + q]
+                            + self.unassigned_wgt[u] * self.unplaced_factor_for_removed(q);
+                        self.fsum[u] -= old;
+                        if self.fmin_proc[u] == q {
+                            self.recompute_task_stats(u);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `unplaced_factor` as it applied *before* `q` was removed — for
+    /// orders one/two this is identical to the current value (the factor
+    /// does not depend on the free set).
+    #[inline]
+    fn unplaced_factor_for_removed(&self, q: NodeId) -> f64 {
+        match self.order {
+            EstimationOrder::First => 0.0,
+            EstimationOrder::Second => self.avg_all.avg(q),
+            EstimationOrder::Third => unreachable!("third order recomputes everything"),
+        }
+    }
+
+    /// Brute-force fest for validation: recompute from the definition.
+    #[cfg(test)]
+    fn fest_bruteforce(&self, t: TaskId, q: NodeId) -> f64 {
+        let mut v = 0.0;
+        for (j, c) in self.tasks.neighbors(t) {
+            if self.placement[j] != usize::MAX {
+                v += c * self.topo.distance(q, self.placement[j]) as f64;
+            } else {
+                v += c * self.unplaced_factor(q);
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    fn check_invariants(state: &EstimationState<'_>) {
+        for &t in state.unassigned.iter() {
+            let mut min = f64::INFINITY;
+            let mut argmin = usize::MAX;
+            let mut sum = 0.0;
+            for &q in state.free.iter() {
+                let f = state.fest(t, q);
+                let bf = state.fest_bruteforce(t, q);
+                assert!(
+                    (f - bf).abs() < 1e-6 * bf.abs().max(1.0),
+                    "fest({t},{q}) = {f} but brute force = {bf}"
+                );
+                sum += f;
+                if f < min || (f == min && q < argmin) {
+                    min = f;
+                    argmin = q;
+                }
+            }
+            assert!(
+                (state.fmin[t] - min).abs() < 1e-6 * min.abs().max(1.0),
+                "FMin[{t}] = {} but brute force = {min}",
+                state.fmin[t]
+            );
+            assert!(
+                (state.fsum[t] - sum).abs() < 1e-6 * sum.abs().max(1.0),
+                "FSum[{t}] = {} but brute force = {sum}",
+                state.fsum[t]
+            );
+            // argmin agreement modulo float ties
+            let f_arg = state.fest(t, state.fmin_proc[t]);
+            assert!((f_arg - min).abs() < 1e-9 * min.abs().max(1.0));
+        }
+    }
+
+    fn run_incremental_check(order: EstimationOrder) {
+        let tasks = gen::stencil2d(4, 4, 100.0, false);
+        let topo = Torus::torus_2d(4, 4);
+        let mut state = EstimationState::new(&tasks, &topo, order);
+        check_invariants(&state);
+        // Drive the full Algorithm-1 loop, checking after every step.
+        for _ in 0..16 {
+            let t = state.select_task();
+            let q = state.best_proc(t);
+            state.assign(t, q);
+            check_invariants(&state);
+        }
+        assert_eq!(state.num_unassigned(), 0);
+        assert_eq!(state.num_free(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_bruteforce_first_order() {
+        run_incremental_check(EstimationOrder::First);
+    }
+
+    #[test]
+    fn incremental_matches_bruteforce_second_order() {
+        run_incremental_check(EstimationOrder::Second);
+    }
+
+    #[test]
+    fn incremental_matches_bruteforce_third_order() {
+        run_incremental_check(EstimationOrder::Third);
+    }
+
+    #[test]
+    fn more_procs_than_tasks() {
+        let tasks = gen::ring(5, 10.0);
+        let topo = Torus::torus_2d(3, 3);
+        let mut state = EstimationState::new(&tasks, &topo, EstimationOrder::Second);
+        for _ in 0..5 {
+            let t = state.select_task();
+            let q = state.best_proc(t);
+            state.assign(t, q);
+            check_invariants(&state);
+        }
+        assert_eq!(state.num_free(), 4);
+    }
+
+    #[test]
+    fn second_order_first_pick_is_hub_to_center() {
+        // A star task graph: the hub has the largest unassigned weight, so
+        // second-order gain selects it first; its best processor is the
+        // topology center (min average distance).
+        let mut b = topomap_taskgraph::TaskGraph::builder(5);
+        for leaf in 1..5 {
+            b.add_comm(0, leaf, 100.0);
+        }
+        let tasks = b.build();
+        let topo = Torus::mesh_2d(3, 3); // center = (1,1) = node 4
+        let state = EstimationState::new(&tasks, &topo, EstimationOrder::Second);
+        let t = state.select_task();
+        assert_eq!(t, 0, "hub should be most critical");
+        assert_eq!(state.best_proc(0), 4, "hub goes to the mesh center");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many processors")]
+    fn too_few_processors_rejected() {
+        let tasks = gen::ring(10, 1.0);
+        let topo = Torus::torus_2d(3, 3);
+        EstimationState::new(&tasks, &topo, EstimationOrder::Second);
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_assign_rejected() {
+        let tasks = gen::ring(4, 1.0);
+        let topo = Torus::torus_2d(2, 2);
+        let mut state = EstimationState::new(&tasks, &topo, EstimationOrder::Second);
+        state.assign(0, 0);
+        state.assign(0, 1);
+    }
+
+    #[test]
+    fn order_labels() {
+        assert_eq!(EstimationOrder::First.label(), "first-order");
+        assert_eq!(EstimationOrder::Second.label(), "second-order");
+        assert_eq!(EstimationOrder::Third.label(), "third-order");
+        assert_eq!(EstimationOrder::default(), EstimationOrder::Second);
+    }
+}

@@ -1,0 +1,330 @@
+//! Hierarchical (semi-distributed) topology-aware mapping — the paper's
+//! future-work direction implemented.
+//!
+//! §6: "Due to the massively large sizes of machines like Bluegene, a
+//! distributed approach toward keeping communication localized in a
+//! neighborhood may be needed for scalability in the future. Hybrid
+//! approaches (semi-distributed) ... need to be investigated further."
+//!
+//! [`HierarchicalTopoLb`] is that hybrid: carve the torus into a grid of
+//! equal blocks (sub-meshes), then
+//!
+//! 1. partition the task graph into one balanced group per block
+//!    (multilevel, cut-reducing, sizes forced exact with a boundary
+//!    fix-up),
+//! 2. map the block-level group graph onto the block grid with TopoLB
+//!    (a `B`-node problem), and
+//! 3. map each group's tasks onto its block's processors with TopoLB on
+//!    the induced subgraph (many independent `(p/B)`-node problems).
+//!
+//! Total cost drops from O(p²) to O(B² + B·(p/B)²) table work, at a small
+//! hop-byte premium (quantified in `exp_ablation`): cross-block edges are
+//! only resolved at block granularity.
+
+use crate::{Mapper, Mapping, TopoLb};
+use topomap_partition::{MultilevelKWay, Partitioner};
+use topomap_taskgraph::{TaskGraph, TaskId};
+use topomap_topology::{Topology, Torus};
+
+/// Hierarchical two-level TopoLB over a torus/mesh machine.
+#[derive(Debug, Clone)]
+pub struct HierarchicalTopoLb {
+    /// Number of blocks along each machine dimension. Every entry must
+    /// divide the corresponding machine dimension.
+    pub blocks_per_dim: Vec<usize>,
+    /// Phase-1 partitioner used to form the per-block groups.
+    pub partitioner: MultilevelKWay,
+}
+
+impl HierarchicalTopoLb {
+    pub fn new(blocks_per_dim: Vec<usize>) -> Self {
+        HierarchicalTopoLb {
+            blocks_per_dim,
+            partitioner: MultilevelKWay::default(),
+        }
+    }
+
+    /// Map `tasks` onto the torus `machine` (the typed entry point; the
+    /// [`Mapper`] impl only accepts `Torus` machines and panics
+    /// otherwise, since blocks need grid structure).
+    pub fn map_torus(&self, tasks: &TaskGraph, machine: &Torus) -> Mapping {
+        let dims = machine.dims().to_vec();
+        assert_eq!(
+            dims.len(),
+            self.blocks_per_dim.len(),
+            "blocks_per_dim must match machine dimensionality"
+        );
+        for (d, (&n, &b)) in dims.iter().zip(&self.blocks_per_dim).enumerate() {
+            assert!(b >= 1 && n % b == 0, "dim {d}: {b} blocks must divide size {n}");
+        }
+        let p = machine.num_nodes();
+        let n = tasks.num_tasks();
+        assert!(n <= p, "need at least as many processors as tasks");
+
+        let num_blocks: usize = self.blocks_per_dim.iter().product();
+        let block_dims: Vec<usize> =
+            dims.iter().zip(&self.blocks_per_dim).map(|(&n, &b)| n / b).collect();
+        let block_size: usize = block_dims.iter().product();
+
+        // Degenerate split: fall back to flat TopoLB.
+        if num_blocks == 1 || num_blocks >= n {
+            return TopoLb::default().map(tasks, machine);
+        }
+
+        // --- 1. one balanced group per block, sizes forced to fit ---
+        let mut assignment = self.partitioner.partition(tasks, num_blocks).assignment().to_vec();
+        enforce_capacities(tasks, &mut assignment, num_blocks, block_size);
+
+        // --- 2. block-level mapping: group graph onto the block grid ---
+        // Inter-block distance is modeled by the machine distance between
+        // block origins — exact up to an additive intra-block offset.
+        let group_graph = tasks.coalesce(&assignment, num_blocks);
+        let block_grid = Torus::new(&self.blocks_per_dim, machine.wrap());
+        let block_mapping = TopoLb::default().map(&group_graph, &block_grid);
+
+        // --- 3. intra-block mapping, independently per block ---
+        let mut proc_of = vec![usize::MAX; n];
+        let inner = TopoLb::default();
+        for g in 0..num_blocks {
+            let members: Vec<TaskId> =
+                (0..n).filter(|&t| assignment[t] == g).collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Induced subgraph on this group's tasks.
+            let index_of: std::collections::HashMap<TaskId, usize> =
+                members.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            let mut sub = TaskGraph::builder(members.len());
+            for (i, &t) in members.iter().enumerate() {
+                sub.set_task_weight(i, tasks.vertex_weight(t));
+                for (u, w) in tasks.neighbors(t) {
+                    if let Some(&j) = index_of.get(&u) {
+                        if i < j {
+                            sub.add_comm(i, j, w);
+                        }
+                    }
+                }
+            }
+            let sub = sub.build();
+            // The block's machine: a sub-mesh (wraparound links within a
+            // block only exist if the block spans the full dimension).
+            let sub_wrap: Vec<bool> = machine
+                .wrap()
+                .iter()
+                .zip(&self.blocks_per_dim)
+                .map(|(&w, &b)| w && b == 1)
+                .collect();
+            let block_machine = Torus::new(&block_dims, &sub_wrap);
+            let local = inner.map(&sub, &block_machine);
+
+            // Translate block-local processors to machine processors.
+            let bnode = block_mapping.proc_of(g);
+            let bgrid = Torus::new(&self.blocks_per_dim, machine.wrap());
+            let bcoords = bgrid.coords(bnode);
+            for (i, &t) in members.iter().enumerate() {
+                let lc = block_machine.coords(local.proc_of(i));
+                let mut mc = vec![0usize; dims.len()];
+                for d in 0..dims.len() {
+                    mc[d] = bcoords.get(d) * block_dims[d] + lc.get(d);
+                }
+                proc_of[t] = machine.node_at(&mc);
+            }
+        }
+        let mut mapping = Mapping::new(proc_of, p);
+
+        // --- 4. intra-block swap refinement against the FULL graph ---
+        // The intra-block TopoLB saw only the induced subgraph; a few
+        // swap passes restricted to same-block pairs re-aim boundary
+        // tasks at their cross-block neighbors. Cost is O(Σ_b |b|²·δ̄)
+        // = O(p²/B·δ̄) — the hierarchy's subquadratic scaling survives.
+        let groups: Vec<Vec<TaskId>> = {
+            let mut v = vec![Vec::new(); num_blocks];
+            for t in 0..n {
+                v[assignment[t]].push(t);
+            }
+            v
+        };
+        for _pass in 0..2 {
+            let mut improved = false;
+            for members in &groups {
+                for (i, &a) in members.iter().enumerate() {
+                    for &b in &members[i + 1..] {
+                        if crate::refine::swap_delta(tasks, machine, &mapping, a, b) < -1e-12 {
+                            mapping.swap_tasks(a, b);
+                            improved = true;
+                        }
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        mapping
+    }
+}
+
+/// Rebalance group sizes to at most `capacity` members each, moving
+/// boundary tasks with minimal cut damage into under-full groups.
+fn enforce_capacities(
+    tasks: &TaskGraph,
+    assignment: &mut [usize],
+    num_groups: usize,
+    capacity: usize,
+) {
+    let n = assignment.len();
+    let mut sizes = vec![0usize; num_groups];
+    for &g in assignment.iter() {
+        sizes[g] += 1;
+    }
+    loop {
+        let Some(over) = (0..num_groups).find(|&g| sizes[g] > capacity) else {
+            break;
+        };
+        // Receiving group: most under-full (ties -> lowest id).
+        let under = (0..num_groups)
+            .filter(|&g| sizes[g] < capacity)
+            .min_by_key(|&g| (sizes[g], g))
+            .expect("total tasks <= total capacity");
+        // Evict the member of `over` with the smallest connection to it
+        // net of its connection to `under` (least cut damage).
+        let victim = (0..n)
+            .filter(|&t| assignment[t] == over)
+            .min_by(|&a, &b| {
+                let cost = |t: TaskId| -> f64 {
+                    tasks
+                        .neighbors(t)
+                        .map(|(u, w)| {
+                            if assignment[u] == over {
+                                w
+                            } else if assignment[u] == under {
+                                -w
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum()
+                };
+                cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
+            })
+            .expect("over-full group is non-empty");
+        assignment[victim] = under;
+        sizes[over] -= 1;
+        sizes[under] += 1;
+    }
+}
+
+impl Mapper for HierarchicalTopoLb {
+    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
+        // The hierarchical scheme needs grid structure; accept machines
+        // whose name round-trips through a Torus of the same geometry.
+        // Callers with a concrete `Torus` should prefer `map_torus`.
+        panic!(
+            "HierarchicalTopoLb requires a concrete Torus machine; call \
+             map_torus(tasks, &torus) instead (machine given: {}, {} tasks)",
+            topo.name(),
+            tasks.num_tasks()
+        );
+    }
+
+    fn name(&self) -> String {
+        let b: Vec<String> = self.blocks_per_dim.iter().map(|x| x.to_string()).collect();
+        format!("HierTopoLB({})", b.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, Mapper, RandomMap};
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn valid_injective_mapping() {
+        let tasks = gen::stencil2d(8, 8, 1024.0, false);
+        let machine = Torus::torus_2d(8, 8);
+        let h = HierarchicalTopoLb::new(vec![2, 2]);
+        let m = h.map_torus(&tasks, &machine);
+        let mut seen = vec![false; 64];
+        for t in 0..64 {
+            assert!(!seen[m.proc_of(t)]);
+            seen[m.proc_of(t)] = true;
+        }
+    }
+
+    #[test]
+    fn close_to_flat_topolb_on_stencil() {
+        let tasks = gen::stencil2d(8, 8, 1024.0, false);
+        let machine = Torus::torus_2d(8, 8);
+        let flat = metrics::hops_per_byte(
+            &tasks,
+            &machine,
+            &TopoLb::default().map(&tasks, &machine),
+        );
+        let hier = metrics::hops_per_byte(
+            &tasks,
+            &machine,
+            &HierarchicalTopoLb::new(vec![2, 2]).map_torus(&tasks, &machine),
+        );
+        let rnd = metrics::hops_per_byte(
+            &tasks,
+            &machine,
+            &RandomMap::new(1).map(&tasks, &machine),
+        );
+        assert!(hier < 0.65 * rnd, "hierarchical {hier} must beat random {rnd}");
+        assert!(hier <= 2.5 * flat, "hierarchical {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn works_on_3d_machine() {
+        let tasks = gen::stencil3d(4, 4, 4, 512.0, false);
+        let machine = Torus::torus_3d(4, 4, 4);
+        let h = HierarchicalTopoLb::new(vec![2, 2, 1]);
+        let m = h.map_torus(&tasks, &machine);
+        let hpb = metrics::hops_per_byte(&tasks, &machine, &m);
+        assert!(hpb < 2.5, "hpb {hpb}");
+    }
+
+    #[test]
+    fn single_block_falls_back_to_flat() {
+        let tasks = gen::stencil2d(4, 4, 1.0, false);
+        let machine = Torus::torus_2d(4, 4);
+        let h = HierarchicalTopoLb::new(vec![1, 1]);
+        let flat = TopoLb::default().map(&tasks, &machine);
+        assert_eq!(h.map_torus(&tasks, &machine), flat);
+    }
+
+    #[test]
+    fn fewer_tasks_than_processors() {
+        let tasks = gen::ring(10, 100.0);
+        let machine = Torus::torus_2d(4, 4);
+        let h = HierarchicalTopoLb::new(vec![2, 2]);
+        let m = h.map_torus(&tasks, &machine);
+        assert_eq!(m.num_tasks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_blocks_rejected() {
+        let tasks = gen::ring(9, 1.0);
+        let machine = Torus::torus_2d(3, 3);
+        HierarchicalTopoLb::new(vec![2, 3]).map_torus(&tasks, &machine);
+    }
+
+    #[test]
+    fn capacity_enforcement_exact() {
+        let tasks = gen::random_graph(40, 3.0, 1.0, 100.0, 4);
+        let mut assignment = vec![0usize; 40]; // everything in group 0
+        enforce_capacities(&tasks, &mut assignment, 4, 10);
+        let mut sizes = vec![0usize; 4];
+        for &g in &assignment {
+            sizes[g] += 1;
+        }
+        assert_eq!(sizes, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn name_reflects_blocking() {
+        assert_eq!(HierarchicalTopoLb::new(vec![2, 4]).name(), "HierTopoLB(2x4)");
+    }
+}

@@ -1,0 +1,214 @@
+//! TopoCentLB — the simpler, faster strategy of §4.5.
+//!
+//! "In the first iteration, the most communicating task is selected and
+//! mapped to a processor. In each subsequent iteration, the task that has
+//! maximum total communication with already assigned tasks is selected.
+//! It is mapped to the free physical processor where it incurs the least
+//! total cost of communication (in terms of hop-bytes) with the already
+//! assigned tasks." — i.e. first-order estimation with a
+//! max-communication selection rule (Baba et al.'s (P3,P4) scheme).
+//!
+//! Implemented with the paper's heap: selection pops the max-key task in
+//! O(log p); key updates for the popped task's neighbors are lazy
+//! insertions (stale entries are skipped on pop), giving the stated
+//! O(p·|Et|) total running time dominated by the processor scan.
+
+use crate::{Mapper, Mapping};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use topomap_taskgraph::{TaskGraph, TaskId};
+use topomap_topology::{stats::AvgDistTable, Topology};
+
+/// Heap entry ordered by (communication key, then lower task id).
+#[derive(Debug, PartialEq)]
+struct Entry {
+    key: f64,
+    task: TaskId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on key; ties -> lower task id first.
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap()
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The TopoCentLB mapping strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoCentLb;
+
+impl Mapper for TopoCentLb {
+    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
+        let n = tasks.num_tasks();
+        let p = topo.num_nodes();
+        assert!(n <= p, "need at least as many processors as tasks");
+
+        let mut proc_of = vec![usize::MAX; n];
+        let mut placed = vec![false; n];
+        let mut free = vec![true; p];
+
+        // comm_assigned[t] = total communication of t with placed tasks.
+        let mut comm_assigned = vec![0f64; n];
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n * 2);
+
+        // First selection: the most communicating task overall; it goes to
+        // the topology center (the processor with minimum average distance
+        // — the natural seed for growing a compact region).
+        let first = (0..n)
+            .max_by(|&a, &b| {
+                tasks
+                    .weighted_degree(a)
+                    .partial_cmp(&tasks.weighted_degree(b))
+                    .unwrap()
+                    .then(b.cmp(&a))
+            })
+            .expect("non-empty task graph");
+        let center = AvgDistTable::new(topo).center();
+        proc_of[first] = center;
+        placed[first] = true;
+        free[center] = false;
+        for (j, c) in tasks.neighbors(first) {
+            comm_assigned[j] += c;
+            heap.push(Entry { key: comm_assigned[j], task: j });
+        }
+
+        for _ in 1..n {
+            // Pop the max-communication unplaced task; skip stale entries.
+            let t = loop {
+                match heap.pop() {
+                    Some(Entry { key, task }) if !placed[task] && key == comm_assigned[task] => {
+                        break Some(task)
+                    }
+                    Some(_) => continue,
+                    None => break None,
+                }
+            };
+            // Disconnected remainder: pick the lowest-id unplaced task.
+            let t = t.unwrap_or_else(|| (0..n).find(|&x| !placed[x]).unwrap());
+
+            // Place on the free processor minimizing first-order cost.
+            let mut best_q = usize::MAX;
+            let mut best_cost = f64::INFINITY;
+            for q in 0..p {
+                if !free[q] {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for (j, c) in tasks.neighbors(t) {
+                    if placed[j] {
+                        cost += c * topo.distance(q, proc_of[j]) as f64;
+                    }
+                }
+                if cost < best_cost || (cost == best_cost && q < best_q) {
+                    best_cost = cost;
+                    best_q = q;
+                }
+            }
+            proc_of[t] = best_q;
+            placed[t] = true;
+            free[best_q] = false;
+            for (j, c) in tasks.neighbors(t) {
+                if !placed[j] {
+                    comm_assigned[j] += c;
+                    heap.push(Entry { key: comm_assigned[j], task: j });
+                }
+            }
+        }
+        Mapping::new(proc_of, p)
+    }
+
+    fn name(&self) -> String {
+        "TopoCentLB".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, RandomMap, TopoLb};
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    #[test]
+    fn maps_injectively() {
+        let tasks = gen::stencil2d(5, 5, 10.0, false);
+        let topo = Torus::torus_2d(5, 5);
+        let m = TopoCentLb.map(&tasks, &topo);
+        let mut seen = vec![false; 25];
+        for t in 0..25 {
+            assert!(!seen[m.proc_of(t)]);
+            seen[m.proc_of(t)] = true;
+        }
+    }
+
+    #[test]
+    fn beats_random() {
+        let tasks = gen::stencil2d(8, 8, 100.0, false);
+        let topo = Torus::torus_2d(8, 8);
+        let cent = metrics::hops_per_byte(&tasks, &topo, &TopoCentLb.map(&tasks, &topo));
+        let rnd = metrics::hops_per_byte(&tasks, &topo, &RandomMap::new(1).map(&tasks, &topo));
+        assert!(cent < 0.6 * rnd, "TopoCentLB {cent} vs random {rnd}");
+    }
+
+    #[test]
+    fn close_to_topolb_but_typically_behind() {
+        // Paper: "TopoCentLB also results in small values of hops-per-byte
+        // ... about 10% higher than those from TopoLB" (§5.2.2). Allow a
+        // loose band: within 2x of TopoLB and below random.
+        let tasks = gen::stencil2d(8, 8, 100.0, false);
+        let topo = Torus::torus_3d(4, 4, 4);
+        let lb = metrics::hops_per_byte(&tasks, &topo, &TopoLb::default().map(&tasks, &topo));
+        let cent = metrics::hops_per_byte(&tasks, &topo, &TopoCentLb.map(&tasks, &topo));
+        assert!(cent <= 2.0 * lb, "TopoCentLB {cent} vs TopoLB {lb}");
+    }
+
+    #[test]
+    fn handles_disconnected_tasks() {
+        // Two disjoint rings: heap drains between components.
+        let mut b = topomap_taskgraph::TaskGraph::builder(8);
+        for i in 0..4usize {
+            b.add_comm(i, (i + 1) % 4, 10.0);
+            b.add_comm(4 + i, 4 + (i + 1) % 4, 10.0);
+        }
+        let tasks = b.build();
+        let topo = Torus::torus_2d(3, 3);
+        let m = TopoCentLb.map(&tasks, &topo);
+        assert_eq!(m.num_tasks(), 8);
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let tasks = topomap_taskgraph::TaskGraph::builder(4).build();
+        let topo = Torus::torus_2d(2, 2);
+        let m = TopoCentLb.map(&tasks, &topo);
+        assert_eq!(m.num_tasks(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tasks = gen::random_graph(40, 4.0, 1.0, 100.0, 9);
+        let topo = Torus::torus_2d(7, 6);
+        assert_eq!(TopoCentLb.map(&tasks, &topo), TopoCentLb.map(&tasks, &topo));
+    }
+
+    #[test]
+    fn first_task_lands_on_center() {
+        let tasks = gen::stencil2d(3, 3, 10.0, false);
+        let topo = Torus::mesh_2d(3, 3);
+        let m = TopoCentLb.map(&tasks, &topo);
+        // Most-communicating task in a 3x3 open stencil is the center
+        // task 4 (degree 4); mesh center is node 4.
+        assert_eq!(m.proc_of(4), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! The load-balancing database: measured per-object loads and
+//! communication records, as accumulated by the Charm++ LB framework
+//! during instrumented execution.
+
+use serde::{Deserialize, Serialize};
+use topomap_taskgraph::{TaskGraph, TaskId};
+
+/// One directed communication record: `messages` messages totalling
+//  `bytes` bytes from object `from` to object `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommRecord {
+    pub from: TaskId,
+    pub to: TaskId,
+    pub bytes: f64,
+    pub messages: u64,
+}
+
+/// The LB database for one load-balancing step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LbDatabase {
+    /// Measured wall-time load per object (seconds or any consistent unit).
+    pub loads: Vec<f64>,
+    /// Directed communication records (merged per ordered pair).
+    pub comm: Vec<CommRecord>,
+}
+
+impl LbDatabase {
+    /// An empty database for `n` objects.
+    pub fn new(n: usize) -> Self {
+        LbDatabase { loads: vec![0.0; n], comm: Vec::new() }
+    }
+
+    pub fn num_objects(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Accumulate measured load for an object.
+    pub fn record_load(&mut self, obj: TaskId, load: f64) {
+        assert!(load >= 0.0 && load.is_finite());
+        self.loads[obj] += load;
+    }
+
+    /// Accumulate a communication record (merged with any existing record
+    /// for the same ordered pair).
+    pub fn record_comm(&mut self, from: TaskId, to: TaskId, bytes: f64, messages: u64) {
+        assert!(from < self.loads.len() && to < self.loads.len());
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        if let Some(r) = self.comm.iter_mut().find(|r| r.from == from && r.to == to) {
+            r.bytes += bytes;
+            r.messages += messages;
+        } else {
+            self.comm.push(CommRecord { from, to, bytes, messages });
+        }
+    }
+
+    /// Total measured load.
+    pub fn total_load(&self) -> f64 {
+        self.loads.iter().sum()
+    }
+
+    /// Total communicated bytes (directed sum).
+    pub fn total_bytes(&self) -> f64 {
+        self.comm.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Convert to the undirected task graph the mapping algorithms
+    /// consume: vertex weights are loads, edge weights sum the bytes of
+    /// both directions (the paper's model: "edges represent total
+    /// communication between the tasks at the end points").
+    pub fn to_task_graph(&self) -> TaskGraph {
+        let mut b = TaskGraph::builder(self.num_objects());
+        for (t, &l) in self.loads.iter().enumerate() {
+            b.set_task_weight(t, l);
+        }
+        for r in &self.comm {
+            b.add_comm(r.from, r.to, r.bytes);
+        }
+        b.build()
+    }
+
+    /// Build a database directly from a task graph (uniform message
+    /// counts): the inverse of [`Self::to_task_graph`], used for driving
+    /// strategies from synthetic workloads.
+    pub fn from_task_graph(g: &TaskGraph) -> Self {
+        let mut db = LbDatabase::new(g.num_tasks());
+        for t in 0..g.num_tasks() {
+            db.loads[t] = g.vertex_weight(t);
+        }
+        for (a, b, w) in g.edges() {
+            // Split the undirected total into two directed halves.
+            db.comm.push(CommRecord { from: a, to: b, bytes: w / 2.0, messages: 1 });
+            db.comm.push(CommRecord { from: b, to: a, bytes: w / 2.0, messages: 1 });
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn record_and_merge() {
+        let mut db = LbDatabase::new(3);
+        db.record_load(0, 1.5);
+        db.record_load(0, 0.5);
+        db.record_comm(0, 1, 100.0, 2);
+        db.record_comm(0, 1, 50.0, 1);
+        db.record_comm(1, 0, 25.0, 1);
+        assert_eq!(db.loads[0], 2.0);
+        assert_eq!(db.comm.len(), 2);
+        assert_eq!(db.comm[0].bytes, 150.0);
+        assert_eq!(db.comm[0].messages, 3);
+        assert_eq!(db.total_bytes(), 175.0);
+    }
+
+    #[test]
+    fn to_task_graph_sums_directions() {
+        let mut db = LbDatabase::new(2);
+        db.record_load(0, 3.0);
+        db.record_load(1, 4.0);
+        db.record_comm(0, 1, 100.0, 1);
+        db.record_comm(1, 0, 60.0, 1);
+        let g = db.to_task_graph();
+        assert_eq!(g.edge_weight(0, 1), Some(160.0));
+        assert_eq!(g.vertex_weight(1), 4.0);
+    }
+
+    #[test]
+    fn graph_roundtrip_preserves_structure() {
+        let g = gen::stencil2d(4, 4, 1000.0, false);
+        let db = LbDatabase::from_task_graph(&g);
+        let g2 = db.to_task_graph();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert!((g2.total_comm() - g.total_comm()).abs() < 1e-9);
+        assert_eq!(g2.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = gen::ring(5, 100.0);
+        let db = LbDatabase::from_task_graph(&g);
+        let s = serde_json::to_string(&db).unwrap();
+        let back: LbDatabase = serde_json::from_str(&s).unwrap();
+        assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,148 @@
+//! The `+LBSim` mechanism (§5.1): run any strategy on a dumped database
+//! "sequentially in simulation mode" and study the relevant metrics —
+//! without re-running the parallel program, and with every strategy seeing
+//! exactly the same load scenario.
+
+use crate::database::LbDatabase;
+use crate::dump::{read_step, DumpError, LbDump};
+use crate::strategy::{LbAssignment, LbStrategy};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use topomap_topology::Topology;
+
+/// Metrics of one strategy applied to one load scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyReport {
+    pub strategy: String,
+    pub num_objects: usize,
+    pub num_procs: usize,
+    /// Hop-bytes of the object communication graph under the assignment.
+    pub hop_bytes: f64,
+    /// Hop-bytes divided by total communicated bytes.
+    pub hops_per_byte: f64,
+    /// Max processor load over average processor load.
+    pub load_imbalance: f64,
+    /// Maximum processor load.
+    pub max_proc_load: f64,
+}
+
+/// Apply `strategy` to `db` on `topo` and measure the result.
+pub fn evaluate(db: &LbDatabase, topo: &dyn Topology, strategy: &dyn LbStrategy) -> StrategyReport {
+    let assignment = strategy.assign(db, topo);
+    report(db, topo, &strategy.name(), &assignment)
+}
+
+/// Measure an existing assignment against a database.
+pub fn report(
+    db: &LbDatabase,
+    topo: &dyn Topology,
+    name: &str,
+    assignment: &LbAssignment,
+) -> StrategyReport {
+    let p = topo.num_nodes();
+    assert_eq!(assignment.num_objects(), db.num_objects());
+
+    let g = db.to_task_graph();
+    let mut hop_bytes = 0.0;
+    let mut total_bytes = 0.0;
+    for (a, b, w) in g.edges() {
+        let d = topo.distance(assignment.proc_of_obj[a], assignment.proc_of_obj[b]);
+        hop_bytes += w * d as f64;
+        total_bytes += w;
+    }
+
+    let mut loads = vec![0f64; p];
+    for (o, &q) in assignment.proc_of_obj.iter().enumerate() {
+        loads[q] += db.loads[o];
+    }
+    let total_load: f64 = loads.iter().sum();
+    let max_load = loads.iter().fold(0.0f64, |m, &l| m.max(l));
+    let avg_load = total_load / p as f64;
+
+    StrategyReport {
+        strategy: name.to_string(),
+        num_objects: db.num_objects(),
+        num_procs: p,
+        hop_bytes,
+        hops_per_byte: if total_bytes > 0.0 { hop_bytes / total_bytes } else { 0.0 },
+        load_imbalance: if avg_load > 0.0 { max_load / avg_load } else { 1.0 },
+        max_proc_load: max_load,
+    }
+}
+
+/// Load a dumped step and evaluate several strategies on it — the full
+/// `+LBSim` workflow.
+pub fn simulate_step(
+    base: &Path,
+    step: usize,
+    topo: &dyn Topology,
+    strategies: &[&dyn LbStrategy],
+) -> Result<Vec<StrategyReport>, DumpError> {
+    let LbDump { num_procs, database, .. } = read_step(base, step)?;
+    assert_eq!(
+        num_procs,
+        topo.num_nodes(),
+        "dump was taken on a {num_procs}-processor run"
+    );
+    Ok(strategies
+        .iter()
+        .map(|s| evaluate(&database, topo, *s))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::{write_step, LbDump};
+    use crate::strategy;
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    #[test]
+    fn evaluate_orders_strategies_sensibly() {
+        let g = gen::stencil2d(8, 8, 1024.0, false);
+        let db = LbDatabase::from_task_graph(&g);
+        let topo = Torus::torus_2d(8, 8);
+        let topolb = evaluate(&db, &topo, strategy::by_name("TopoLB").unwrap().as_ref());
+        let random = evaluate(&db, &topo, strategy::by_name("RandomLB").unwrap().as_ref());
+        assert!(topolb.hops_per_byte < random.hops_per_byte);
+        assert_eq!(topolb.num_objects, 64);
+        assert_eq!(topolb.num_procs, 64);
+    }
+
+    #[test]
+    fn load_metrics_reflect_assignment() {
+        let mut db = LbDatabase::new(4);
+        for (o, l) in [(0, 1.0), (1, 1.0), (2, 1.0), (3, 5.0)] {
+            db.record_load(o, l);
+        }
+        let topo = Torus::mesh_1d(2);
+        // All on processor 0.
+        let bad = LbAssignment { proc_of_obj: vec![0, 0, 0, 0] };
+        let r = report(&db, &topo, "manual", &bad);
+        assert_eq!(r.max_proc_load, 8.0);
+        assert_eq!(r.load_imbalance, 2.0); // 8 / (8/2)
+        assert_eq!(r.hop_bytes, 0.0); // everything colocated
+    }
+
+    #[test]
+    fn full_dump_replay_cycle() {
+        let dir = std::env::temp_dir().join("topomap-lb-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("leanmd");
+        let g = gen::leanmd(9, &gen::LeanMdConfig { num_computes: 120, ..Default::default() });
+        let dump = LbDump { step: 2, num_procs: 9, database: LbDatabase::from_task_graph(&g) };
+        write_step(&base, &dump).unwrap();
+
+        let topo = Torus::torus_2d(3, 3);
+        let topolb = strategy::by_name("TopoLB").unwrap();
+        let greedy = strategy::by_name("GreedyLB").unwrap();
+        let reports =
+            simulate_step(&base, 2, &topo, &[topolb.as_ref(), greedy.as_ref()]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].strategy, "TopoLB");
+        // Same database, same scenario: comparable on equal footing.
+        assert_eq!(reports[0].num_objects, reports[1].num_objects);
+        std::fs::remove_file(crate::dump::step_path(&base, 2)).ok();
+    }
+}

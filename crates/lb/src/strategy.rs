@@ -1,0 +1,185 @@
+//! Pluggable load-balancing strategies — the lineup the paper evaluates.
+//!
+//! A strategy consumes the LB database and the machine topology and
+//! returns a complete object→processor assignment. The topology-aware
+//! strategies run the paper's two-phase pipeline: multilevel partitioning
+//! into `p` groups (the METIS step of §4.4) followed by the respective
+//! topology-aware group mapping.
+
+use crate::database::LbDatabase;
+use topomap_core::{pipeline, LinearOrderMap, Mapper, RandomMap, RefineTopoLb, TopoCentLb, TopoLb};
+use topomap_partition::{GreedyLoad, MultilevelKWay, Partitioner, RandomPartition};
+use topomap_topology::{NodeId, Topology};
+
+/// A complete object→processor assignment produced by a strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LbAssignment {
+    pub proc_of_obj: Vec<NodeId>,
+}
+
+impl LbAssignment {
+    pub fn num_objects(&self) -> usize {
+        self.proc_of_obj.len()
+    }
+
+    /// Objects per processor.
+    pub fn objects_on(&self, num_procs: usize) -> Vec<Vec<usize>> {
+        let mut v = vec![Vec::new(); num_procs];
+        for (o, &p) in self.proc_of_obj.iter().enumerate() {
+            v[p].push(o);
+        }
+        v
+    }
+}
+
+/// A centralized load-balancing strategy (the paper's model: strategies
+/// run on the full database).
+pub trait LbStrategy: Send + Sync {
+    fn name(&self) -> String;
+
+    /// Compute a new assignment of every object to a processor of `topo`.
+    fn assign(&self, db: &LbDatabase, topo: &dyn Topology) -> LbAssignment;
+}
+
+/// Generic two-phase strategy: any partitioner + any mapper.
+pub struct TwoPhaseStrategy<P, M> {
+    pub partitioner: P,
+    pub mapper: M,
+    name: String,
+}
+
+impl<P: Partitioner, M: Mapper> TwoPhaseStrategy<P, M> {
+    pub fn new(partitioner: P, mapper: M, name: impl Into<String>) -> Self {
+        TwoPhaseStrategy { partitioner, mapper, name: name.into() }
+    }
+}
+
+impl<P, M> LbStrategy for TwoPhaseStrategy<P, M>
+where
+    P: Partitioner + Send + Sync,
+    M: Mapper + Send + Sync,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn assign(&self, db: &LbDatabase, topo: &dyn Topology) -> LbAssignment {
+        let g = db.to_task_graph();
+        let r = pipeline::two_phase(&g, topo, &self.partitioner, &self.mapper);
+        LbAssignment { proc_of_obj: r.task_placement() }
+    }
+}
+
+/// Strategy registry keyed by the Charm++-style strategy name.
+///
+/// | name | phase 1 | phase 2 |
+/// |------|---------|---------|
+/// | `RandomLB` | random groups | random placement |
+/// | `GreedyLB` | greedy load-only | random placement (the paper's "essentially random" baseline) |
+/// | `MetisLB` | multilevel k-way | random placement (topology-oblivious but cut-aware) |
+/// | `TauraChienLB` | multilevel k-way | linear-ordering placement (related work \[21\]) |
+/// | `TopoCentLB` | multilevel k-way | TopoCentLB |
+/// | `TopoLB` | multilevel k-way | TopoLB (second order) |
+/// | `RefineTopoLB` | multilevel k-way | TopoLB + swap refinement |
+pub fn by_name(name: &str) -> Option<Box<dyn LbStrategy>> {
+    match name {
+        "RandomLB" => Some(Box::new(TwoPhaseStrategy::new(
+            RandomPartition::new(0x5eed),
+            RandomMap::new(0x5eed),
+            "RandomLB",
+        ))),
+        "GreedyLB" => Some(Box::new(TwoPhaseStrategy::new(
+            GreedyLoad,
+            RandomMap::new(0x9ee_d),
+            "GreedyLB",
+        ))),
+        "MetisLB" => Some(Box::new(TwoPhaseStrategy::new(
+            MultilevelKWay::default(),
+            RandomMap::new(0xae_d),
+            "MetisLB",
+        ))),
+        "TauraChienLB" => Some(Box::new(TwoPhaseStrategy::new(
+            MultilevelKWay::default(),
+            LinearOrderMap::bfs(),
+            "TauraChienLB",
+        ))),
+        "TopoCentLB" => Some(Box::new(TwoPhaseStrategy::new(
+            MultilevelKWay::default(),
+            TopoCentLb,
+            "TopoCentLB",
+        ))),
+        "TopoLB" => Some(Box::new(TwoPhaseStrategy::new(
+            MultilevelKWay::default(),
+            TopoLb::default(),
+            "TopoLB",
+        ))),
+        "RefineTopoLB" => Some(Box::new(TwoPhaseStrategy::new(
+            MultilevelKWay::default(),
+            RefineTopoLb::new(TopoLb::default()),
+            "RefineTopoLB",
+        ))),
+        _ => None,
+    }
+}
+
+/// All registered strategy names (stable order, used by the harness).
+pub fn all_names() -> &'static [&'static str] {
+    &["RandomLB", "GreedyLB", "MetisLB", "TauraChienLB", "TopoCentLB", "TopoLB", "RefineTopoLB"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    #[test]
+    fn registry_resolves_all() {
+        for name in all_names() {
+            let s = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(&s.name(), name);
+        }
+        assert!(by_name("NoSuchLB").is_none());
+    }
+
+    #[test]
+    fn assignments_cover_all_objects() {
+        let g = gen::leanmd(16, &gen::LeanMdConfig { num_computes: 200, ..Default::default() });
+        let db = LbDatabase::from_task_graph(&g);
+        let topo = Torus::torus_2d(4, 4);
+        for name in all_names() {
+            let s = by_name(name).unwrap();
+            let a = s.assign(&db, &topo);
+            assert_eq!(a.num_objects(), g.num_tasks(), "{name}");
+            assert!(a.proc_of_obj.iter().all(|&p| p < 16), "{name}");
+            // Every processor gets some work for this over-decomposed load.
+            let per_proc = a.objects_on(16);
+            assert!(per_proc.iter().all(|v| !v.is_empty()), "{name} left a proc empty");
+        }
+    }
+
+    #[test]
+    fn topolb_beats_greedylb_on_hop_bytes() {
+        let g = gen::stencil2d(16, 16, 1024.0, false);
+        let db = LbDatabase::from_task_graph(&g);
+        let topo = Torus::torus_2d(4, 4);
+        let eval = |name: &str| {
+            let a = by_name(name).unwrap().assign(&db, &topo);
+            // Hop-bytes of the original graph under the object placement.
+            g.edges()
+                .map(|(x, y, w)| {
+                    w * topo.distance(a.proc_of_obj[x], a.proc_of_obj[y]) as f64
+                })
+                .sum::<f64>()
+        };
+        assert!(eval("TopoLB") < eval("GreedyLB"));
+    }
+
+    #[test]
+    fn strategies_are_object_safe_and_shareable() {
+        // The runtime hands strategies across threads: check Send+Sync.
+        fn takes_sendsync<T: Send + Sync + ?Sized>(_x: &T) {}
+        let s = by_name("TopoLB").unwrap();
+        takes_sendsync(s.as_ref());
+    }
+}

@@ -1,0 +1,750 @@
+//! The discrete-event simulation engine.
+//!
+//! Messages advance hop by hop; the outgoing link at each hop is chosen
+//! at simulation time, which supports both deterministic dimension-ordered
+//! routing and minimal-adaptive routing (pick the productive link that
+//! frees earliest — modeling adaptive virtual-channel selection).
+
+use crate::config::{NetworkConfig, NicModel, RoutingMode, Switching};
+use crate::stats::SimStats;
+use crate::trace::{Trace, TraceOp};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+use topomap_core::Mapping;
+use topomap_taskgraph::TaskId;
+use topomap_topology::{Link, NodeId, RoutedTopology};
+
+/// Event kinds processed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A task resumes executing its program (after compute or unblock).
+    Resume { task: TaskId },
+    /// A message head is at a node, ready to cross its next link.
+    Hop { msg: usize },
+    /// A message head reaches the destination's ejection (reception)
+    /// channel.
+    Eject { msg: usize },
+    /// A message's last byte reaches its destination NIC.
+    Deliver { msg: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventEntry {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // (time, seq) total order — seq makes simulation fully
+        // deterministic under simultaneous events.
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug)]
+struct Msg {
+    src: TaskId,
+    dst: TaskId,
+    bytes: u64,
+    inject_ns: u64,
+    /// Destination processor (cached from the mapping).
+    dst_proc: NodeId,
+    /// Node the head currently occupies.
+    cur: NodeId,
+    /// The link the head most recently crossed (for wormhole
+    /// backpressure), as an index into `links`.
+    prev_link: Option<u32>,
+    hops: u32,
+    /// Earliest time the message's last byte can exist at the head's
+    /// position: `max_k (start_k + ser_k)` over links crossed so far.
+    /// With uniform link speeds this is just the last link's completion;
+    /// with degraded links the slowest link dominates.
+    tail_ready: u64,
+}
+
+#[derive(Debug, Default)]
+struct TaskState {
+    pc: usize,
+    /// Messages received but not yet consumed, per source task.
+    avail: HashMap<TaskId, u32>,
+    /// Source this task's current `Recv` is blocked on, if any.
+    blocked_on: Option<TaskId>,
+    finished_at: Option<u64>,
+}
+
+/// One complete simulation run.
+pub struct Simulation;
+
+impl Simulation {
+    /// Replay `trace` on `topo` under `mapping` with network parameters
+    /// `cfg`; returns aggregate statistics.
+    ///
+    /// Panics if the trace deadlocks (a `Recv` that no `Send` satisfies) —
+    /// use [`Trace::check_matched`] to validate traces up front.
+    pub fn run(
+        topo: &dyn RoutedTopology,
+        cfg: &NetworkConfig,
+        trace: &Trace,
+        mapping: &Mapping,
+    ) -> SimStats {
+        Engine::new(topo, cfg, trace, mapping).run()
+    }
+}
+
+struct Engine<'a> {
+    topo: &'a dyn RoutedTopology,
+    cfg: &'a NetworkConfig,
+    trace: &'a Trace,
+    mapping: &'a Mapping,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    seq: u64,
+    links: Vec<Link>,
+    link_index: HashMap<Link, u32>,
+    /// Time each directed link becomes free.
+    link_free: Vec<u64>,
+    /// Accumulated busy time per link (for utilization stats).
+    link_busy: Vec<u64>,
+    /// Relative speed factor per link (1.0 = nominal bandwidth).
+    link_speed: Vec<f64>,
+    /// Per-processor NIC injection channel (SharedChannel model).
+    inject_free: Vec<u64>,
+    /// Per-processor NIC ejection channel (SharedChannel model).
+    eject_free: Vec<u64>,
+    msgs: Vec<Msg>,
+    tasks: Vec<TaskState>,
+    nbr_buf: Vec<NodeId>,
+    // Statistics accumulators.
+    latencies: Vec<u64>,
+    local_delivered: u64,
+    bytes_delivered: u64,
+    hop_sum: u64,
+    last_time: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        topo: &'a dyn RoutedTopology,
+        cfg: &'a NetworkConfig,
+        trace: &'a Trace,
+        mapping: &'a Mapping,
+    ) -> Self {
+        assert_eq!(
+            trace.num_tasks(),
+            mapping.num_tasks(),
+            "trace and mapping disagree on task count"
+        );
+        assert_eq!(
+            mapping.num_procs(),
+            topo.num_nodes(),
+            "mapping and topology disagree on processor count"
+        );
+        let links = topo.links();
+        let link_index: HashMap<Link, u32> =
+            links.iter().enumerate().map(|(i, &l)| (l, i as u32)).collect();
+        let n_links = links.len();
+        let mut link_speed = vec![1.0f64; n_links];
+        for &(from, to, factor) in &cfg.link_speed_factors {
+            assert!(factor > 0.0, "link speed factor must be positive");
+            let l = Link::new(from, to);
+            let li = *link_index
+                .get(&l)
+                .unwrap_or_else(|| panic!("speed factor for nonexistent link {l:?}"));
+            link_speed[li as usize] = factor;
+        }
+        Engine {
+            topo,
+            cfg,
+            trace,
+            mapping,
+            events: BinaryHeap::new(),
+            seq: 0,
+            links,
+            link_index,
+            link_free: vec![0; n_links],
+            link_busy: vec![0; n_links],
+            link_speed,
+            inject_free: vec![0; topo.num_nodes()],
+            eject_free: vec![0; topo.num_nodes()],
+            msgs: Vec::new(),
+            tasks: (0..trace.num_tasks()).map(|_| TaskState::default()).collect(),
+            nbr_buf: Vec::new(),
+            latencies: Vec::new(),
+            local_delivered: 0,
+            bytes_delivered: 0,
+            hop_sum: 0,
+            last_time: 0,
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry { time, seq, kind }));
+    }
+
+    fn run(mut self) -> SimStats {
+        // Kick off every task at t = 0.
+        for t in 0..self.trace.num_tasks() {
+            self.push(0, EventKind::Resume { task: t });
+        }
+
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.last_time = ev.time;
+            match ev.kind {
+                EventKind::Resume { task } => self.advance(task, ev.time),
+                EventKind::Hop { msg } => self.handle_hop(msg, ev.time),
+                EventKind::Eject { msg } => self.handle_eject(msg, ev.time),
+                EventKind::Deliver { msg } => self.handle_deliver(msg, ev.time),
+            }
+        }
+
+        // Deadlock / starvation check: every task must have finished.
+        let stuck: Vec<usize> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.finished_at.is_none())
+            .map(|(t, _)| t)
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "simulation ended with unfinished tasks {stuck:?} (unmatched Recv?)"
+        );
+
+        let completion_ns = self
+            .tasks
+            .iter()
+            .map(|s| s.finished_at.unwrap())
+            .max()
+            .unwrap_or(0);
+
+        let used_links = self.link_busy.iter().filter(|&&b| b > 0).count();
+        let max_busy = self.link_busy.iter().copied().max().unwrap_or(0);
+        let total_busy: u64 = self.link_busy.iter().sum();
+        let delivered = self.latencies.len() as u64;
+        self.latencies.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if self.latencies.is_empty() {
+                0
+            } else {
+                let idx = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+                self.latencies[idx]
+            }
+        };
+        SimStats {
+            completion_ns,
+            network_messages: delivered,
+            local_messages: self.local_delivered,
+            bytes_delivered: self.bytes_delivered,
+            avg_latency_ns: if delivered > 0 {
+                self.latencies.iter().sum::<u64>() as f64 / delivered as f64
+            } else {
+                0.0
+            },
+            p50_latency_ns: pct(0.50),
+            p95_latency_ns: pct(0.95),
+            p99_latency_ns: pct(0.99),
+            max_latency_ns: self.latencies.last().copied().unwrap_or(0),
+            avg_hops: if delivered > 0 {
+                self.hop_sum as f64 / delivered as f64
+            } else {
+                0.0
+            },
+            max_link_utilization: if completion_ns > 0 {
+                max_busy as f64 / completion_ns as f64
+            } else {
+                0.0
+            },
+            avg_link_utilization: if completion_ns > 0 && !self.links.is_empty() {
+                total_busy as f64 / (completion_ns as f64 * self.links.len() as f64)
+            } else {
+                0.0
+            },
+            used_links,
+            total_links: self.links.len(),
+        }
+    }
+
+    /// Run task `task`'s program from its current pc, starting at `now`,
+    /// until it blocks (compute or recv) or finishes.
+    fn advance(&mut self, task: TaskId, now: u64) {
+        let mut now = now;
+        loop {
+            let Some(&op) = self.trace.programs[task].get(self.tasks[task].pc) else {
+                if self.tasks[task].finished_at.is_none() {
+                    self.tasks[task].finished_at = Some(now);
+                }
+                return;
+            };
+            match op {
+                TraceOp::Compute { ns } => {
+                    self.tasks[task].pc += 1;
+                    self.push(now + ns, EventKind::Resume { task });
+                    return;
+                }
+                TraceOp::Send { to, bytes } => {
+                    self.tasks[task].pc += 1;
+                    now += self.cfg.send_overhead_ns;
+                    self.inject(task, to, bytes, now);
+                }
+                TraceOp::Recv { from } => {
+                    let avail = self.tasks[task].avail.entry(from).or_insert(0);
+                    if *avail > 0 {
+                        *avail -= 1;
+                        self.tasks[task].pc += 1;
+                    } else {
+                        self.tasks[task].blocked_on = Some(from);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Put a message on the wire (or the local loopback) at `time`.
+    fn inject(&mut self, src: TaskId, dst: TaskId, bytes: u64, time: u64) {
+        let (ps, pd) = (self.mapping.proc_of(src), self.mapping.proc_of(dst));
+        let id = self.msgs.len();
+        self.msgs.push(Msg {
+            src,
+            dst,
+            bytes,
+            inject_ns: time,
+            dst_proc: pd,
+            cur: ps,
+            prev_link: None,
+            hops: 0,
+            tail_ready: 0,
+        });
+        if ps == pd {
+            self.push(time + self.cfg.local_latency_ns, EventKind::Deliver { msg: id });
+        } else {
+            let start = match self.cfg.nic {
+                NicModel::SharedChannel => {
+                    // The sending NIC streams outgoing messages into the
+                    // network one at a time at link bandwidth.
+                    let ser = self.cfg.serialization_ns(bytes);
+                    let s = time.max(self.inject_free[ps]);
+                    self.inject_free[ps] = s + ser;
+                    s
+                }
+                // Per-port injection: the first link's FIFO serializes.
+                NicModel::PerLink => time,
+            };
+            self.push(start, EventKind::Hop { msg: id });
+        }
+    }
+
+    /// Choose the outgoing link for `msg` at its current node.
+    fn choose_next(&mut self, msg: usize) -> NodeId {
+        let m = &self.msgs[msg];
+        match self.cfg.routing {
+            RoutingMode::Deterministic => self.topo.next_hop(m.cur, m.dst_proc),
+            RoutingMode::MinimalAdaptive => {
+                // Among productive links, take the one that frees
+                // earliest (ties -> lowest neighbor id): a proxy for
+                // adaptive output-queue selection in real routers.
+                let (cur, dst) = (m.cur, m.dst_proc);
+                let mut nbrs = std::mem::take(&mut self.nbr_buf);
+                self.topo.productive_neighbors_into(cur, dst, &mut nbrs);
+                let next = nbrs
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| {
+                        let li = self.link_index[&Link::new(cur, v)] as usize;
+                        (self.link_free[li], v)
+                    })
+                    .expect("at least one productive neighbor");
+                self.nbr_buf = nbrs;
+                next
+            }
+        }
+    }
+
+    /// Serialization time of `bytes` on a specific (possibly degraded)
+    /// link.
+    #[inline]
+    fn link_ser(&self, li: usize, bytes: u64) -> u64 {
+        let speed = self.link_speed[li];
+        if speed == 1.0 {
+            self.cfg.serialization_ns(bytes)
+        } else {
+            ((bytes as f64) * 1e9 / (self.cfg.link_bandwidth * speed)).ceil() as u64
+        }
+    }
+
+    /// The head of `msg` is at a node: reserve the next link FIFO, then
+    /// forward the head (cut-through) toward the destination.
+    fn handle_hop(&mut self, msg: usize, now: u64) {
+        let next = self.choose_next(msg);
+        let m = &self.msgs[msg];
+        let li = self.link_index[&Link::new(m.cur, next)] as usize;
+        let prev = m.prev_link;
+        let ser = self.link_ser(li, m.bytes);
+        let start = now.max(self.link_free[li]);
+        self.link_free[li] = start + ser;
+        self.link_busy[li] += ser;
+        // Wormhole backpressure: while this message waited for (and now
+        // streams over) the current link, its body kept the upstream link
+        // occupied — the tail leaves that link only at `start + ser`.
+        if self.cfg.switching == Switching::Wormhole {
+            if let Some(pl) = prev {
+                let pl = pl as usize;
+                let extended = start + ser;
+                if extended > self.link_free[pl] {
+                    self.link_busy[pl] += extended - self.link_free[pl];
+                    self.link_free[pl] = extended;
+                }
+            }
+        }
+        let head_out = start + self.cfg.hop_latency_ns;
+        let m = &mut self.msgs[msg];
+        m.cur = next;
+        m.prev_link = Some(li as u32);
+        m.hops += 1;
+        m.tail_ready = m.tail_ready.max(start + ser);
+        if next == m.dst_proc {
+            self.push(head_out, EventKind::Eject { msg });
+        } else {
+            self.push(head_out, EventKind::Hop { msg });
+        }
+    }
+
+    /// The head reaches the destination's reception channel: messages
+    /// converging on one node from several links drain serially
+    /// (SharedChannel) or per final link (PerLink).
+    fn handle_eject(&mut self, msg: usize, now: u64) {
+        let m = &self.msgs[msg];
+        let pd = m.dst_proc;
+        let last_link = m.prev_link;
+        let ser = self.cfg.serialization_ns(m.bytes);
+        let start = match self.cfg.nic {
+            NicModel::SharedChannel => {
+                let s = now.max(self.eject_free[pd]);
+                self.eject_free[pd] = s + ser;
+                s
+            }
+            // Per-port ejection: the final link already serialized the
+            // body; delivery completes one serialization after the head.
+            NicModel::PerLink => now,
+        };
+        // Backpressure into the final link while waiting for the NIC.
+        if self.cfg.switching == Switching::Wormhole {
+            if let Some(ll) = last_link {
+                let ll = ll as usize;
+                let extended = start + ser;
+                if extended > self.link_free[ll] {
+                    self.link_busy[ll] += extended - self.link_free[ll];
+                    self.link_free[ll] = extended;
+                }
+            }
+        }
+        // Delivery completes when the NIC has drained the message AND the
+        // slowest link on the route has pushed the last byte through.
+        let tail_ready = self.msgs[msg].tail_ready;
+        self.push((start + ser).max(tail_ready), EventKind::Deliver { msg });
+    }
+
+    fn handle_deliver(&mut self, msg: usize, now: u64) {
+        let (src, dst, bytes, inject_ns, hops) = {
+            let m = &self.msgs[msg];
+            (m.src, m.dst, m.bytes, m.inject_ns, m.hops)
+        };
+        if hops > 0 {
+            self.latencies.push(now - inject_ns);
+            self.hop_sum += hops as u64;
+        } else {
+            self.local_delivered += 1;
+        }
+        self.bytes_delivered += bytes;
+
+        let st = &mut self.tasks[dst];
+        *st.avail.entry(src).or_insert(0) += 1;
+        if st.blocked_on == Some(src) {
+            st.blocked_on = None;
+            self.advance(dst, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{pingpong_trace, stencil_trace};
+    use topomap_core::{Mapper, Mapping, RandomMap, TopoLb};
+    use topomap_taskgraph::gen;
+    use topomap_topology::Torus;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig {
+            link_bandwidth: 1e9, // 1 B/ns
+            hop_latency_ns: 100,
+            send_overhead_ns: 1000,
+            local_latency_ns: 500,
+            switching: Switching::CutThrough,
+            nic: NicModel::SharedChannel,
+            routing: RoutingMode::Deterministic,
+            link_speed_factors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pingpong_latency_matches_model() {
+        // Two tasks on adjacent processors of a 1D mesh, one round trip.
+        let topo = Torus::mesh_1d(2);
+        let tr = pingpong_trace(2, 0, 1, 1, 1000);
+        let m = Mapping::new(vec![0, 1], 2);
+        let s = Simulation::run(&topo, &cfg(), &tr, &m);
+        // One-way latency: 1 hop => hop_latency + serialization = 100 + 1000.
+        assert_eq!(s.network_messages, 2);
+        assert_eq!(s.avg_latency_ns, 1100.0);
+        assert_eq!(s.avg_hops, 1.0);
+        assert_eq!(s.p50_latency_ns, 1100);
+        assert_eq!(s.p99_latency_ns, 1100);
+        // Completion: overhead + latency, twice.
+        assert_eq!(s.completion_ns, 4200);
+    }
+
+    #[test]
+    fn multihop_latency_adds_hops() {
+        // Tasks at the two ends of a 4-node 1D mesh: 3 hops.
+        let topo = Torus::mesh_1d(4);
+        let tr = pingpong_trace(2, 0, 1, 1, 1000);
+        let m = Mapping::new(vec![0, 3], 4);
+        let s = Simulation::run(&topo, &cfg(), &tr, &m);
+        // Uncontended cut-through: 3 * hop_latency + serialization.
+        assert_eq!(s.avg_latency_ns, (3 * 100 + 1000) as f64);
+        assert_eq!(s.avg_hops, 3.0);
+    }
+
+    #[test]
+    fn compute_only_trace_uses_no_network() {
+        let topo = Torus::mesh_1d(2);
+        let m = Mapping::new(vec![0], 2);
+        let tr1 = Trace { programs: vec![vec![TraceOp::Compute { ns: 777 }]] };
+        let s = Simulation::run(&topo, &cfg(), &tr1, &m);
+        assert_eq!(s.network_messages, 0);
+        assert_eq!(s.completion_ns, 777);
+    }
+
+    #[test]
+    fn contention_serializes_shared_link() {
+        // Three senders at one end of a 1D mesh all send to the far node
+        // through the same final link: deliveries must serialize.
+        let topo = Torus::mesh_1d(4);
+        let tr = Trace {
+            programs: vec![
+                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
+                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
+                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
+                vec![
+                    TraceOp::Recv { from: 0 },
+                    TraceOp::Recv { from: 1 },
+                    TraceOp::Recv { from: 2 },
+                ],
+            ],
+        };
+        let m = Mapping::new(vec![0, 1, 2, 3], 4);
+        let s = Simulation::run(&topo, &cfg(), &tr, &m);
+        // Link 2->3 carries 30_000 bytes at 1 B/ns.
+        assert!(s.completion_ns >= 30_000, "completion {}", s.completion_ns);
+        assert_eq!(s.network_messages, 3);
+        assert!(s.max_latency_ns > 20_000);
+        assert!(s.p99_latency_ns >= s.p50_latency_ns);
+    }
+
+    #[test]
+    fn stencil_runs_to_completion_and_is_deterministic() {
+        let tasks = gen::stencil2d(4, 4, 4096.0, false);
+        let topo = Torus::torus_2d(4, 4);
+        let tr = stencil_trace(&tasks, 10, 2_000);
+        let m = TopoLb::default().map(&tasks, &topo);
+        let s1 = Simulation::run(&topo, &cfg(), &tr, &m);
+        let s2 = Simulation::run(&topo, &cfg(), &tr, &m);
+        assert_eq!(s1.completion_ns, s2.completion_ns);
+        assert_eq!(s1.network_messages, s2.network_messages);
+        assert_eq!(s1.network_messages + s1.local_messages, 2 * 24 * 10);
+    }
+
+    #[test]
+    fn good_mapping_beats_random_under_tight_bandwidth() {
+        let tasks = gen::stencil2d(4, 4, 100_000.0, false);
+        let topo = Torus::torus_3d(4, 2, 2);
+        let tr = stencil_trace(&tasks, 20, 1_000);
+        let tight = cfg().with_bandwidth(100e6); // 100 MB/s
+        let good = Simulation::run(&topo, &tight, &tr, &TopoLb::default().map(&tasks, &topo));
+        let bad = Simulation::run(&topo, &tight, &tr, &RandomMap::new(9).map(&tasks, &topo));
+        assert!(
+            good.completion_ns < bad.completion_ns,
+            "TopoLB {} should beat random {}",
+            good.completion_ns,
+            bad.completion_ns
+        );
+        assert!(good.avg_latency_ns < bad.avg_latency_ns);
+    }
+
+    #[test]
+    fn avg_hops_matches_metric_hops() {
+        // With a uniform stencil every message is the same size, so the
+        // simulator's average hops equals the mapping's hops-per-byte.
+        let tasks = gen::stencil2d(4, 4, 8192.0, true);
+        let topo = Torus::torus_2d(4, 4);
+        let m = RandomMap::new(4).map(&tasks, &topo);
+        let tr = stencil_trace(&tasks, 3, 100);
+        let s = Simulation::run(&topo, &cfg(), &tr, &m);
+        let hpb = topomap_core::metrics::hops_per_byte(&tasks, &topo, &m);
+        assert!(
+            (s.avg_hops - hpb).abs() < 1e-9,
+            "sim hops {} vs metric {hpb}",
+            s.avg_hops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished tasks")]
+    fn deadlocked_trace_panics() {
+        let topo = Torus::mesh_1d(2);
+        let tr = Trace {
+            programs: vec![vec![TraceOp::Recv { from: 1 }], vec![]],
+        };
+        let m = Mapping::new(vec![0, 1], 2);
+        Simulation::run(&topo, &cfg(), &tr, &m);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let tasks = gen::stencil2d(4, 4, 50_000.0, true);
+        let topo = Torus::torus_2d(4, 4);
+        let tr = stencil_trace(&tasks, 10, 100);
+        let m = RandomMap::new(2).map(&tasks, &topo);
+        let s = Simulation::run(&topo, &cfg().with_bandwidth(200e6), &tr, &m);
+        assert!(s.max_link_utilization <= 1.0 + 1e-9);
+        assert!(s.avg_link_utilization <= s.max_link_utilization);
+        assert!(s.used_links <= s.total_links);
+        assert!(s.used_links > 0);
+    }
+
+    #[test]
+    fn adaptive_routing_still_minimal() {
+        // Adaptive routes must use exactly distance(src, dst) hops.
+        let topo = Torus::torus_2d(4, 4);
+        let tasks = gen::stencil2d(4, 4, 4096.0, true);
+        let m = RandomMap::new(8).map(&tasks, &topo);
+        let tr = stencil_trace(&tasks, 2, 100);
+        let mut acfg = cfg();
+        acfg.routing = RoutingMode::MinimalAdaptive;
+        let s = Simulation::run(&topo, &acfg, &tr, &m);
+        let hpb = topomap_core::metrics::hops_per_byte(&tasks, &topo, &m);
+        assert!(
+            (s.avg_hops - hpb).abs() < 1e-9,
+            "adaptive must stay minimal: {} vs {hpb}",
+            s.avg_hops
+        );
+    }
+
+    #[test]
+    fn adaptive_routing_relieves_contention() {
+        // Many sources funnel to one destination region under random
+        // mapping on a torus: spreading over productive links must not be
+        // slower than deterministic DOR, and typically helps.
+        let tasks = gen::stencil2d(4, 4, 65_536.0, true);
+        let topo = Torus::torus_2d(4, 4);
+        let m = RandomMap::new(6).map(&tasks, &topo);
+        let tr = stencil_trace(&tasks, 10, 500);
+        let mut det = cfg().with_bandwidth(100e6);
+        det.nic = NicModel::PerLink;
+        let mut ada = det.clone();
+        ada.routing = RoutingMode::MinimalAdaptive;
+        let s_det = Simulation::run(&topo, &det, &tr, &m);
+        let s_ada = Simulation::run(&topo, &ada, &tr, &m);
+        assert!(
+            (s_ada.completion_ns as f64) < 1.15 * s_det.completion_ns as f64,
+            "adaptive {} should not lose badly to deterministic {}",
+            s_ada.completion_ns,
+            s_det.completion_ns
+        );
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_too() {
+        let tasks = gen::stencil2d(4, 4, 4096.0, false);
+        let topo = Torus::torus_3d(4, 2, 2);
+        let m = RandomMap::new(3).map(&tasks, &topo);
+        let tr = stencil_trace(&tasks, 5, 100);
+        let mut acfg = cfg();
+        acfg.routing = RoutingMode::MinimalAdaptive;
+        let s1 = Simulation::run(&topo, &acfg, &tr, &m);
+        let s2 = Simulation::run(&topo, &acfg, &tr, &m);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn degraded_link_slows_serialization() {
+        // A 2-node mesh whose single forward link runs at 10% speed.
+        let topo = Torus::mesh_1d(2);
+        let tr = pingpong_trace(2, 0, 1, 1, 1000);
+        let m = Mapping::new(vec![0, 1], 2);
+        let mut slow = cfg();
+        slow.link_speed_factors = vec![(0, 1, 0.1)];
+        let s = Simulation::run(&topo, &slow, &tr, &m);
+        // Forward message: the 10_000ns slow-link serialization dominates
+        // (hop latency and NIC drain pipeline behind it). Return message
+        // unaffected: 100 (hop) + 1000 (ser). Mean = 5550.
+        assert_eq!(s.avg_latency_ns, (10_000 + 1_100) as f64 / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent link")]
+    fn speed_factor_for_missing_link_rejected() {
+        let topo = Torus::mesh_1d(2);
+        let tr = pingpong_trace(2, 0, 1, 1, 10);
+        let m = Mapping::new(vec![0, 1], 2);
+        let mut bad = cfg();
+        bad.link_speed_factors = vec![(0, 5, 0.5)];
+        Simulation::run(&topo, &bad, &tr, &m);
+    }
+
+    #[test]
+    fn adaptive_routing_avoids_degraded_link() {
+        // A 4-ring: 0 -> 2 has two equal-length routes (via 1 or via 3).
+        // Degrade 0->1 badly: deterministic DOR is pinned to one side and
+        // may pay 20x serialization; adaptive routing sends at most one
+        // message over the slow link (the second sees it busy).
+        let topo = Torus::torus_1d(4);
+        let tr = Trace {
+            programs: vec![
+                vec![
+                    TraceOp::Send { to: 1, bytes: 100_000 },
+                    TraceOp::Send { to: 1, bytes: 100_000 },
+                ],
+                vec![TraceOp::Recv { from: 0 }, TraceOp::Recv { from: 0 }],
+                vec![],
+                vec![],
+            ],
+        };
+        // Task 0 on proc 0, task 1 on proc 2 (the antipode).
+        let m = Mapping::new(vec![0, 2, 1, 3], 4);
+        let mut det = cfg();
+        det.nic = NicModel::PerLink;
+        det.link_speed_factors = vec![(0, 1, 0.05)];
+        let mut ada = det.clone();
+        ada.routing = RoutingMode::MinimalAdaptive;
+        let s_det = Simulation::run(&topo, &det, &tr, &m);
+        let s_ada = Simulation::run(&topo, &ada, &tr, &m);
+        assert!(
+            s_ada.completion_ns <= s_det.completion_ns,
+            "adaptive {} vs deterministic {}",
+            s_ada.completion_ns,
+            s_det.completion_ns
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Aggregate results of a simulation run — the observables of the paper's
+//! §5.3 plots (average message latency, total execution time) plus link
+//! utilization detail.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics from one [`crate::Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Time at which the last task finished, in nanoseconds (the paper's
+    /// "total time for execution").
+    pub completion_ns: u64,
+    /// Messages that crossed the network (source and destination on
+    /// different processors).
+    pub network_messages: u64,
+    /// Messages delivered between colocated tasks.
+    pub local_messages: u64,
+    pub bytes_delivered: u64,
+    /// Mean network-message latency in nanoseconds (the paper's "average
+    /// message time").
+    pub avg_latency_ns: f64,
+    /// Median network-message latency.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile network-message latency.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile network-message latency.
+    pub p99_latency_ns: u64,
+    pub max_latency_ns: u64,
+    /// Mean hops per network message.
+    pub avg_hops: f64,
+    /// Busy fraction of the busiest link.
+    pub max_link_utilization: f64,
+    /// Mean busy fraction over all links.
+    pub avg_link_utilization: f64,
+    /// Links that carried at least one message.
+    pub used_links: usize,
+    pub total_links: usize,
+}
+
+impl SimStats {
+    /// Average message latency in microseconds (the paper's plot unit).
+    pub fn avg_latency_us(&self) -> f64 {
+        self.avg_latency_ns / 1_000.0
+    }
+
+    /// Completion time in milliseconds.
+    pub fn completion_ms(&self) -> f64 {
+        self.completion_ns as f64 / 1e6
+    }
+
+    /// Completion time in seconds.
+    pub fn completion_s(&self) -> f64 {
+        self.completion_ns as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let s = SimStats {
+            completion_ns: 2_500_000_000,
+            network_messages: 10,
+            local_messages: 0,
+            bytes_delivered: 100,
+            avg_latency_ns: 12_345.0,
+            p50_latency_ns: 10_000,
+            p95_latency_ns: 40_000,
+            p99_latency_ns: 45_000,
+            max_latency_ns: 50_000,
+            avg_hops: 2.0,
+            max_link_utilization: 0.5,
+            avg_link_utilization: 0.1,
+            used_links: 4,
+            total_links: 8,
+        };
+        assert!((s.avg_latency_us() - 12.345).abs() < 1e-12);
+        assert!((s.completion_ms() - 2500.0).abs() < 1e-9);
+        assert!((s.completion_s() - 2.5).abs() < 1e-12);
+    }
+}

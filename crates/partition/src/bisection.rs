@@ -1,0 +1,299 @@
+//! Recursive bisection partitioning.
+//!
+//! The classic alternative to direct k-way partitioning (and the engine
+//! behind the ARM scheme of Ercal, Ramanujam & Sadayappan the paper cites
+//! [7]): repeatedly split the vertex set in two with a balanced, low-cut
+//! bisection until `k` parts exist. Each bisection here is a BFS-grown
+//! half (seeded at a peripheral vertex) polished with the same FM-style
+//! boundary refinement the multilevel partitioner uses.
+//!
+//! Supports any `k` (not just powers of two) by splitting weights
+//! proportionally: a part destined to hold `k_left` of `k` leaves gets
+//! `k_left / k` of the load.
+
+use crate::{Partition, Partitioner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topomap_taskgraph::TaskGraph;
+
+/// Recursive-bisection partitioner.
+#[derive(Debug, Clone)]
+pub struct RecursiveBisection {
+    /// FM passes per bisection.
+    pub refine_passes: usize,
+    /// Seed for tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for RecursiveBisection {
+    fn default() -> Self {
+        RecursiveBisection { refine_passes: 4, seed: 0xB15EC7 }
+    }
+}
+
+impl Partitioner for RecursiveBisection {
+    fn partition(&self, g: &TaskGraph, k: usize) -> Partition {
+        assert!(k > 0);
+        let n = g.num_tasks();
+        if k == 1 {
+            return Partition::new(vec![0; n], 1);
+        }
+        if k >= n {
+            return Partition::new((0..n).collect(), k);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut assignment = vec![0usize; n];
+        let all: Vec<usize> = (0..n).collect();
+        let mut next_part = 0usize;
+        self.split(g, &all, k, &mut assignment, &mut next_part, &mut rng);
+        Partition::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "RecursiveBisection"
+    }
+}
+
+impl RecursiveBisection {
+    /// Recursively split `members` into `k` parts, writing final part ids
+    /// via `next_part`.
+    fn split(
+        &self,
+        g: &TaskGraph,
+        members: &[usize],
+        k: usize,
+        assignment: &mut [usize],
+        next_part: &mut usize,
+        rng: &mut StdRng,
+    ) {
+        if k == 1 {
+            let id = *next_part;
+            *next_part += 1;
+            for &v in members {
+                assignment[v] = id;
+            }
+            return;
+        }
+        let k_left = k / 2;
+        let k_right = k - k_left;
+        let total: f64 = members.iter().map(|&v| g.vertex_weight(v)).sum();
+        let target_left = total * k_left as f64 / k as f64;
+
+        let (left, right) = bisect(g, members, target_left, self.refine_passes, rng);
+        self.split(g, &left, k_left, assignment, next_part, rng);
+        self.split(g, &right, k_right, assignment, next_part, rng);
+    }
+}
+
+/// Grow a BFS region from a peripheral seed until `target_left` load is
+/// collected, then run boundary refinement between the halves.
+fn bisect(
+    g: &TaskGraph,
+    members: &[usize],
+    target_left: f64,
+    passes: usize,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<usize>) {
+    use rand::Rng;
+    let in_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+    let mut side = std::collections::HashMap::<usize, bool>::new(); // true = left
+
+    // Peripheral seed: BFS from a random member, take the farthest vertex.
+    let start = members[rng.gen_range(0..members.len())];
+    let seed = bfs_farthest(g, start, &in_set);
+
+    // Grow the left half by strongest connection (greedy graph growing).
+    let mut conn = std::collections::HashMap::<usize, f64>::new();
+    let mut frontier: Vec<usize> = vec![seed];
+    conn.insert(seed, f64::INFINITY);
+    let mut load = 0.0;
+    let mut unseen: std::collections::HashSet<usize> = in_set.clone();
+    while load < target_left {
+        // Re-seed if the frontier dries up (disconnected member set).
+        if frontier.is_empty() {
+            match unseen.iter().copied().min() {
+                Some(s) => {
+                    conn.insert(s, f64::INFINITY);
+                    frontier.push(s);
+                }
+                None => break,
+            }
+        }
+        let (idx, &v) = frontier
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                conn[&a].partial_cmp(&conn[&b]).unwrap().then(b.cmp(&a))
+            })
+            .expect("frontier non-empty");
+        frontier.swap_remove(idx);
+        if !unseen.remove(&v) {
+            continue;
+        }
+        side.insert(v, true);
+        load += g.vertex_weight(v);
+        for (u, w) in g.neighbors(v) {
+            if unseen.contains(&u) {
+                let e = conn.entry(u).or_insert(0.0);
+                if *e == 0.0 {
+                    frontier.push(u);
+                }
+                *e += w;
+            }
+        }
+    }
+    for &v in members {
+        side.entry(v).or_insert(false);
+    }
+
+    // FM-style boundary refinement between the two halves, keeping the
+    // load split within 10% of the target.
+    let total: f64 = members.iter().map(|&v| g.vertex_weight(v)).sum();
+    let mut left_load: f64 = members
+        .iter()
+        .filter(|&&v| side[&v])
+        .map(|&v| g.vertex_weight(v))
+        .sum();
+    let lo = (target_left - 0.1 * total).max(0.0);
+    let hi = target_left + 0.1 * total;
+    for _ in 0..passes {
+        let mut moved = false;
+        for &v in members {
+            let cur_left = side[&v];
+            let mut to_left = 0.0;
+            let mut to_right = 0.0;
+            for (u, w) in g.neighbors(v) {
+                if let Some(&s) = side.get(&u) {
+                    if s {
+                        to_left += w;
+                    } else {
+                        to_right += w;
+                    }
+                }
+            }
+            let w = g.vertex_weight(v);
+            let gain = if cur_left { to_right - to_left } else { to_left - to_right };
+            let new_left = if cur_left { left_load - w } else { left_load + w };
+            if gain > 0.0 && new_left >= lo && new_left <= hi {
+                side.insert(v, !cur_left);
+                left_load = new_left;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &v in members {
+        if side[&v] {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    // Degenerate guard: never return an empty half (k-way needs both).
+    if left.is_empty() {
+        left.push(right.pop().expect("members non-empty"));
+    } else if right.is_empty() {
+        right.push(left.pop().expect("members non-empty"));
+    }
+    (left, right)
+}
+
+/// The member vertex farthest (in hops within the member-induced
+/// subgraph) from `start`; falls back to `start` for singletons.
+fn bfs_farthest(
+    g: &TaskGraph,
+    start: usize,
+    in_set: &std::collections::HashSet<usize>,
+) -> usize {
+    let mut dist = std::collections::HashMap::<usize, u32>::new();
+    let mut queue = std::collections::VecDeque::new();
+    dist.insert(start, 0);
+    queue.push_back(start);
+    let mut far = (start, 0u32);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d > far.1 || (d == far.1 && v < far.0) {
+            far = (v, d);
+        }
+        for (u, _) in g.neighbors(v) {
+            if in_set.contains(&u) && !dist.contains_key(&u) {
+                dist.insert(u, d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    far.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn covers_and_balances_power_of_two() {
+        let g = gen::stencil2d(8, 8, 1.0, false);
+        let p = RecursiveBisection::default().partition(&g, 8);
+        assert_eq!(p.num_tasks(), 64);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        assert!(p.imbalance() <= 1.4, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn handles_non_power_of_two_k() {
+        let g = gen::stencil2d(9, 7, 1.0, false);
+        let p = RecursiveBisection::default().partition(&g, 5);
+        assert_eq!(p.num_parts(), 5);
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        // 63 tasks over 5 parts: sizes should be near 12-13.
+        assert!(sizes.iter().all(|&s| s >= 8 && s <= 18), "{sizes:?}");
+    }
+
+    #[test]
+    fn cut_beats_random() {
+        let g = gen::stencil2d(10, 10, 1.0, false);
+        let rb = RecursiveBisection::default().partition(&g, 4);
+        let rnd = crate::RandomPartition::new(3).partition(&g, 4);
+        assert!(rb.edge_cut(&g) < 0.6 * rnd.edge_cut(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::random_graph(50, 4.0, 1.0, 10.0, 8);
+        let rb = RecursiveBisection::default();
+        assert_eq!(rb.partition(&g, 6), rb.partition(&g, 6));
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let g = gen::ring(5, 1.0);
+        assert!(RecursiveBisection::default()
+            .partition(&g, 1)
+            .assignment()
+            .iter()
+            .all(|&x| x == 0));
+        let p = RecursiveBisection::default().partition(&g, 5);
+        let mut ids = p.assignment().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disconnected_graph_survives() {
+        let mut b = topomap_taskgraph::TaskGraph::builder(10);
+        for i in 0..5usize {
+            b.add_comm(i, (i + 1) % 5, 1.0);
+        }
+        // vertices 5..10 are isolated
+        let g = b.build();
+        let p = RecursiveBisection::default().partition(&g, 3);
+        assert_eq!(p.num_tasks(), 10);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+}

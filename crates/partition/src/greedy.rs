@@ -1,0 +1,101 @@
+//! GreedyLB-style load-only partitioning.
+//!
+//! The paper notes that "some of the dynamic load balancing strategies of
+//! Charm++ like GreedyLB are suitable for partitioning" (§4.4) and uses
+//! GreedyLB as the "essentially random placement" baseline in the network
+//! simulations (§5.3). GreedyLB is the classic longest-processing-time
+//! heuristic: process tasks in decreasing load order, always assigning to
+//! the currently least-loaded group.
+
+use crate::{Partition, Partitioner};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use topomap_taskgraph::TaskGraph;
+
+/// Longest-processing-time-first load balancing (communication-oblivious).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyLoad;
+
+impl Partitioner for GreedyLoad {
+    fn partition(&self, g: &TaskGraph, k: usize) -> Partition {
+        assert!(k > 0);
+        let n = g.num_tasks();
+        // Decreasing load; ties broken by task id for determinism.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            g.vertex_weight(b)
+                .partial_cmp(&g.vertex_weight(a))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+
+        // Min-heap of (load, part). f64 keyed via ordered bits (loads are
+        // non-negative finite, so the bit pattern orders correctly).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..k).map(|p| Reverse((0u64, p))).collect();
+        let mut assignment = vec![0usize; n];
+        for t in order {
+            let Reverse((load_bits, part)) = heap.pop().expect("k > 0");
+            assignment[t] = part;
+            let new_load = f64::from_bits(load_bits) + g.vertex_weight(t);
+            heap.push(Reverse((new_load.to_bits(), part)));
+        }
+        Partition::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "GreedyLoad"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn balances_uniform_loads_perfectly() {
+        let g = gen::stencil2d(8, 8, 1.0, false); // 64 unit-weight tasks
+        let p = GreedyLoad.partition(&g, 8);
+        assert_eq!(p.part_sizes(), vec![8; 8]);
+        assert_eq!(p.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn lpt_quality_bound_on_skewed_loads() {
+        // LPT guarantees makespan <= 4/3 OPT; check a generous bound.
+        let mut b = topomap_taskgraph::TaskGraph::builder(10);
+        for (t, w) in [(0, 10.0), (1, 9.0), (2, 8.0), (3, 7.0), (4, 6.0),
+                       (5, 5.0), (6, 4.0), (7, 3.0), (8, 2.0), (9, 1.0)] {
+            b.set_task_weight(t, w);
+        }
+        let g = b.build();
+        let p = GreedyLoad.partition(&g, 3);
+        let loads = p.part_loads(&g);
+        let max = loads.iter().fold(0.0f64, |m, &l| m.max(l));
+        // total = 55, perfect = 18.33; LPT achieves <= 4/3 * ceil.
+        assert!(max <= 55.0 / 3.0 * 4.0 / 3.0 + 1e-9, "max load {max}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::random_graph(60, 4.0, 1.0, 10.0, 5);
+        assert_eq!(GreedyLoad.partition(&g, 7), GreedyLoad.partition(&g, 7));
+    }
+
+    #[test]
+    fn more_parts_than_tasks_leaves_empties() {
+        let g = gen::ring(3, 1.0);
+        let p = GreedyLoad.partition(&g, 5);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 3);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 2);
+    }
+
+    #[test]
+    fn single_part() {
+        let g = gen::ring(5, 1.0);
+        let p = GreedyLoad.partition(&g, 1);
+        assert!(p.assignment().iter().all(|&x| x == 0));
+    }
+}

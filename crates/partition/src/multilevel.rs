@@ -1,0 +1,421 @@
+//! Multilevel k-way partitioner — the METIS substitute.
+//!
+//! Follows the scheme of Karypis & Kumar (the paper's refs [13–15]):
+//!
+//! 1. **Coarsening**: repeatedly contract a heavy-edge matching until the
+//!    graph is small (≤ `coarsen_to × k` vertices) or contraction stalls.
+//!    Matching prefers the heaviest incident edge, so the strongest
+//!    communication gets hidden inside coarse vertices early.
+//! 2. **Initial partitioning**: greedy graph growing on the coarsest
+//!    graph — seed a region with the highest-connectivity unassigned
+//!    vertex, grow by strongest connection until the load target is met,
+//!    repeat for each part.
+//! 3. **Uncoarsening + refinement**: project the partition back level by
+//!    level, running FM-style boundary refinement at each level: move
+//!    boundary vertices to the neighboring part with maximal cut gain,
+//!    subject to the balance constraint.
+//!
+//! The result is the paper's phase-1 input: p balanced groups with low
+//! inter-group communication.
+
+use crate::{Partition, Partitioner};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use topomap_taskgraph::TaskGraph;
+
+/// METIS-style multilevel k-way partitioner.
+#[derive(Debug, Clone)]
+pub struct MultilevelKWay {
+    /// Stop coarsening once the graph has at most `coarsen_to * k` vertices.
+    pub coarsen_to: usize,
+    /// Allowed imbalance: max part load ≤ `balance_tolerance ×` average.
+    pub balance_tolerance: f64,
+    /// FM refinement passes per level.
+    pub refine_passes: usize,
+    /// Seed for tie-breaking orders in matching and refinement.
+    pub seed: u64,
+}
+
+impl Default for MultilevelKWay {
+    fn default() -> Self {
+        MultilevelKWay {
+            coarsen_to: 15,
+            balance_tolerance: 1.05,
+            refine_passes: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Partitioner for MultilevelKWay {
+    fn partition(&self, g: &TaskGraph, k: usize) -> Partition {
+        assert!(k > 0);
+        let n = g.num_tasks();
+        if k == 1 {
+            return Partition::new(vec![0; n], 1);
+        }
+        if k >= n {
+            return Partition::new((0..n).collect(), k);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // --- Coarsening phase ---
+        let mut levels: Vec<TaskGraph> = vec![g.clone()];
+        let mut maps: Vec<Vec<usize>> = Vec::new(); // fine vertex -> coarse vertex
+        let target = (self.coarsen_to * k).max(2 * k);
+        loop {
+            let cur = levels.last().unwrap();
+            if cur.num_tasks() <= target {
+                break;
+            }
+            let (map, coarse_n) = heavy_edge_matching(cur, &mut rng);
+            // Stall detection: require at least 10% shrinkage.
+            if coarse_n as f64 > cur.num_tasks() as f64 * 0.9 {
+                break;
+            }
+            let coarse = cur.coalesce_keep_loops(&map, coarse_n);
+            maps.push(map);
+            levels.push(coarse);
+        }
+
+        // --- Initial partitioning on the coarsest graph ---
+        let coarsest = levels.last().unwrap();
+        let mut assignment = greedy_graph_growing(coarsest, k, &mut rng);
+        refine(
+            coarsest,
+            &mut assignment,
+            k,
+            self.balance_tolerance,
+            self.refine_passes,
+        );
+
+        // --- Uncoarsening + refinement ---
+        for level in (0..maps.len()).rev() {
+            let fine = &levels[level];
+            let map = &maps[level];
+            let mut fine_assignment = vec![0usize; fine.num_tasks()];
+            for v in 0..fine.num_tasks() {
+                fine_assignment[v] = assignment[map[v]];
+            }
+            assignment = fine_assignment;
+            refine(fine, &mut assignment, k, self.balance_tolerance, self.refine_passes);
+        }
+
+        Partition::new(assignment, k)
+    }
+
+    fn name(&self) -> &'static str {
+        "MultilevelKWay"
+    }
+}
+
+/// Extension used internally: coalesce *keeping* total vertex weights but
+/// dropping intra-group edges is what `TaskGraph::coalesce` does already —
+/// for coarsening we also want it (internal edge weight is irrelevant to
+/// the cut). This trait exists so the main `coalesce` keeps its public
+/// contract.
+trait CoalesceExt {
+    fn coalesce_keep_loops(&self, map: &[usize], n: usize) -> TaskGraph;
+}
+
+impl CoalesceExt for TaskGraph {
+    fn coalesce_keep_loops(&self, map: &[usize], n: usize) -> TaskGraph {
+        self.coalesce(map, n)
+    }
+}
+
+/// Heavy-edge matching: returns (fine→coarse map, #coarse vertices).
+///
+/// Vertices are visited in a random order; an unmatched vertex matches its
+/// unmatched neighbor with the heaviest connecting edge (ties → lower id).
+fn heavy_edge_matching(g: &TaskGraph, rng: &mut StdRng) -> (Vec<usize>, usize) {
+    let n = g.num_tasks();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut mate = vec![usize::MAX; n];
+    for &v in &order {
+        if mate[v] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for (u, w) in g.neighbors(v) {
+            if mate[u] != usize::MAX || u == v {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bw, bu)) => w > bw || (w == bw && u < bu),
+            };
+            if better {
+                best = Some((w, u));
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v] = u;
+                mate[u] = v;
+            }
+            None => mate[v] = v, // stays single
+        }
+    }
+    // Number coarse vertices.
+    let mut map = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if map[v] != usize::MAX {
+            continue;
+        }
+        map[v] = next;
+        let m = mate[v];
+        if m != v && m != usize::MAX {
+            map[m] = next;
+        }
+        next += 1;
+    }
+    (map, next)
+}
+
+/// Greedy graph growing: grow `k` regions to the average load target.
+fn greedy_graph_growing(g: &TaskGraph, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = g.num_tasks();
+    let total: f64 = g.total_vertex_weight();
+    let target = total / k as f64;
+    let mut assignment = vec![usize::MAX; n];
+    let mut conn = vec![0f64; n]; // connectivity of unassigned vertex to current region
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    for part in 0..k.saturating_sub(1) {
+        conn.iter_mut().for_each(|c| *c = 0.0);
+        let mut load = 0f64;
+        let mut frontier: Vec<usize> = Vec::new();
+
+        while load < target {
+            if frontier.is_empty() {
+                // (Re-)seed: unassigned vertex with max weighted degree —
+                // strongest communicator. Re-seeding when the frontier is
+                // exhausted keeps a part growing even if its connected
+                // region ran dry (otherwise parts strand at one vertex on
+                // graphs like LeanMD's cell/compute bipartite structure
+                // and the remainder collapses into the last part).
+                let seed = order
+                    .iter()
+                    .copied()
+                    .filter(|&v| assignment[v] == usize::MAX)
+                    .max_by(|&a, &b| {
+                        g.weighted_degree(a)
+                            .partial_cmp(&g.weighted_degree(b))
+                            .unwrap()
+                            .then(b.cmp(&a))
+                    });
+                let Some(seed) = seed else { break };
+                conn[seed] = f64::INFINITY;
+                frontier.push(seed);
+            }
+            // Take the frontier vertex with max connection to the region.
+            let Some((idx, &v)) = frontier
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| conn[a].partial_cmp(&conn[b]).unwrap().then(b.cmp(&a)))
+            else {
+                break;
+            };
+            frontier.swap_remove(idx);
+            if assignment[v] != usize::MAX {
+                continue;
+            }
+            assignment[v] = part;
+            load += g.vertex_weight(v);
+            for (u, w) in g.neighbors(v) {
+                if assignment[u] == usize::MAX {
+                    if conn[u] == 0.0 {
+                        frontier.push(u);
+                    }
+                    conn[u] += w;
+                }
+            }
+        }
+    }
+    // Remainder goes to the last part.
+    for v in 0..n {
+        if assignment[v] == usize::MAX {
+            assignment[v] = k - 1;
+        }
+    }
+    assignment
+}
+
+/// FM-style boundary refinement: greedy single-vertex moves that reduce the
+/// cut (or, at zero gain, improve balance), subject to the balance bound.
+fn refine(
+    g: &TaskGraph,
+    assignment: &mut [usize],
+    k: usize,
+    balance_tolerance: f64,
+    passes: usize,
+) {
+    let n = g.num_tasks();
+    let total = g.total_vertex_weight();
+    let avg = total / k as f64;
+    let max_load = avg * balance_tolerance;
+
+    let mut loads = vec![0f64; k];
+    for v in 0..n {
+        loads[assignment[v]] += g.vertex_weight(v);
+    }
+
+    // Per-vertex scratch: connection weight to each part (sparse touch-list).
+    let mut conn = vec![0f64; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(8);
+
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let cur = assignment[v];
+            // Compute connections to parts of neighbors.
+            touched.clear();
+            for (u, w) in g.neighbors(v) {
+                let pu = assignment[u];
+                if conn[pu] == 0.0 {
+                    touched.push(pu);
+                }
+                conn[pu] += w;
+            }
+            // Best alternative part among neighbor parts.
+            let mut best: Option<(f64, usize)> = None;
+            for &p in &touched {
+                if p == cur {
+                    continue;
+                }
+                let gain = conn[p] - conn[cur];
+                let better = match best {
+                    None => true,
+                    Some((bg, bp)) => gain > bg || (gain == bg && p < bp),
+                };
+                if better {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((gain, p)) = best {
+                let w = g.vertex_weight(v);
+                let fits = loads[p] + w <= max_load;
+                // Never empty a part entirely (k-way partition must stay k-way
+                // when k <= n): moving the last vertex out is forbidden.
+                let keeps_nonempty = loads[cur] - w > 0.0 || w == 0.0;
+                let improves_balance = loads[p] + w < loads[cur];
+                // Balance repair: while the source part is over the bound,
+                // accept moves that shed load even at negative cut gain.
+                let repair = loads[cur] > max_load && improves_balance && loads[p] + w <= max_load;
+                if keeps_nonempty
+                    && ((gain > 0.0 && fits) || (gain == 0.0 && improves_balance) || repair)
+                {
+                    assignment[v] = p;
+                    loads[cur] -= w;
+                    loads[p] += w;
+                    moved += 1;
+                }
+            }
+            // Reset scratch.
+            for &p in &touched {
+                conn[p] = 0.0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn covers_all_and_in_range() {
+        let g = gen::random_graph(120, 5.0, 1.0, 100.0, 3);
+        let p = MultilevelKWay::default().partition(&g, 8);
+        assert_eq!(p.num_tasks(), 120);
+        assert!(p.assignment().iter().all(|&x| x < 8));
+        assert!(p.part_sizes().iter().all(|&s| s > 0), "no empty parts");
+    }
+
+    #[test]
+    fn balanced_on_uniform_stencil() {
+        let g = gen::stencil2d(16, 16, 1024.0, false);
+        let p = MultilevelKWay::default().partition(&g, 16);
+        assert!(p.imbalance_for(&g) <= 1.30, "imbalance {}", p.imbalance_for(&g));
+    }
+
+    #[test]
+    fn beats_random_cut_substantially() {
+        let g = gen::stencil2d(16, 16, 1.0, false);
+        let ml = MultilevelKWay::default().partition(&g, 8);
+        let rnd = crate::RandomPartition::new(7).partition(&g, 8);
+        let (mc, rc) = (ml.edge_cut(&g), rnd.edge_cut(&g));
+        assert!(
+            mc < 0.5 * rc,
+            "multilevel cut {mc} should be far below random cut {rc}"
+        );
+    }
+
+    #[test]
+    fn k_equals_one_and_k_ge_n() {
+        let g = gen::ring(6, 1.0);
+        let p1 = MultilevelKWay::default().partition(&g, 1);
+        assert!(p1.assignment().iter().all(|&x| x == 0));
+        let p6 = MultilevelKWay::default().partition(&g, 6);
+        let mut seen = p6.assignment().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>(), "k == n gives singletons");
+        let p9 = MultilevelKWay::default().partition(&g, 9);
+        assert_eq!(p9.num_parts(), 9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::random_graph(80, 4.0, 1.0, 10.0, 11);
+        let ml = MultilevelKWay::default();
+        assert_eq!(ml.partition(&g, 5), ml.partition(&g, 5));
+    }
+
+    #[test]
+    fn matching_is_valid() {
+        let g = gen::stencil2d(6, 6, 1.0, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (map, cn) = heavy_edge_matching(&g, &mut rng);
+        assert!(cn <= 36 && cn >= 18);
+        // Each coarse vertex has 1 or 2 fine vertices.
+        let mut counts = vec![0usize; cn];
+        for &c in &map {
+            counts[c] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1 || c == 2));
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        // Two disjoint rings: partitioner must still cover everything.
+        let mut b = topomap_taskgraph::TaskGraph::builder(12);
+        for i in 0..6usize {
+            b.add_comm(i, (i + 1) % 6, 2.0);
+            b.add_comm(6 + i, 6 + (i + 1) % 6, 2.0);
+        }
+        let g = b.build();
+        let p = MultilevelKWay::default().partition(&g, 2);
+        assert_eq!(p.num_tasks(), 12);
+        assert!(p.imbalance() <= 1.5);
+    }
+
+    #[test]
+    fn leanmd_partition_quality() {
+        let g = gen::leanmd(64, &gen::LeanMdConfig::default());
+        let p = MultilevelKWay::default().partition(&g, 64);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        let rnd = crate::RandomPartition::new(1).partition(&g, 64);
+        assert!(p.edge_cut(&g) < rnd.edge_cut(&g));
+    }
+}

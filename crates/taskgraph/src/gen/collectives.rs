@@ -1,0 +1,162 @@
+//! Communication patterns of common parallel kernels beyond stencils:
+//! reduction trees, butterflies (FFT / recursive-doubling collectives),
+//! matrix transpose, and the Sweep3D-style wavefront pattern — the
+//! workload families that dominated BG/L-era machines alongside Jacobi
+//! and molecular dynamics.
+
+use crate::TaskGraph;
+
+/// A binomial reduction/broadcast tree over `n` tasks: task `i` exchanges
+/// `msg_bytes` with `i ± 2^k` partners as in a recursive-doubling
+/// reduction. Every round's pairs become task-graph edges.
+pub fn reduction_tree(n: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(n >= 2);
+    let mut b = TaskGraph::builder(n);
+    let w = 2.0 * msg_bytes;
+    let mut stride = 1usize;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            // In a binomial tree, the node at offset 0 of each 2*stride
+            // block talks to the node at offset `stride`.
+            if i % (2 * stride) == 0 {
+                b.add_comm(i, i + stride, w);
+            }
+            i += stride;
+        }
+        stride *= 2;
+    }
+    b.build()
+}
+
+/// A butterfly (hypercube exchange) over `n = 2^k` tasks: every task
+/// exchanges `msg_bytes` with each partner differing in one bit — the
+/// pattern of FFTs and recursive-doubling all-reduce. Its task graph *is*
+/// the hypercube, so it embeds perfectly in a [`Hypercube`] machine and
+/// poorly in low-dimensional tori: a sharp stress test for mappers.
+///
+/// [`Hypercube`]: ../../topomap_topology/struct.Hypercube.html
+pub fn butterfly(n: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(n >= 2 && n.is_power_of_two(), "butterfly needs a power of two");
+    let mut b = TaskGraph::builder(n);
+    let w = 2.0 * msg_bytes;
+    let mut bit = 1usize;
+    while bit < n {
+        for i in 0..n {
+            let j = i ^ bit;
+            if i < j {
+                b.add_comm(i, j, w);
+            }
+        }
+        bit <<= 1;
+    }
+    b.build()
+}
+
+/// The matrix-transpose pattern over a `rows × cols` process grid: task
+/// `(r, c)` exchanges `msg_bytes` with task `(c, r)` (square grids only).
+/// All pairs communicate simultaneously across the diagonal — a classic
+/// bisection-bandwidth stress.
+pub fn transpose(side: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(side >= 2);
+    let n = side * side;
+    let mut b = TaskGraph::builder(n);
+    let w = 2.0 * msg_bytes;
+    for r in 0..side {
+        for c in (r + 1)..side {
+            b.add_comm(r * side + c, c * side + r, w);
+        }
+    }
+    b.build()
+}
+
+/// The Sweep3D wavefront pattern: a 2D process grid where each task
+/// communicates with its east and south neighbors only (the transport
+/// sweep's downstream dependencies), with heavier traffic than a Jacobi
+/// halo. Structurally a directed wavefront; as an undirected task graph
+/// it is a 2D grid minus the diagonal symmetry.
+pub fn sweep2d(nx: usize, ny: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(nx >= 1 && ny >= 1 && nx * ny >= 2);
+    let mut b = TaskGraph::builder(nx * ny);
+    let w = 2.0 * msg_bytes;
+    for x in 0..nx {
+        for y in 0..ny {
+            let id = x * ny + y;
+            if x + 1 < nx {
+                b.add_comm(id, id + ny, w);
+            }
+            if y + 1 < ny {
+                b.add_comm(id, id + 1, w);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_tree_edge_count() {
+        // A binomial tree over n nodes has n-1 edges.
+        for n in [2usize, 8, 16, 13, 100] {
+            let g = reduction_tree(n, 10.0);
+            assert_eq!(g.num_edges(), n - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reduction_tree_root_degree_is_log() {
+        let g = reduction_tree(16, 1.0);
+        assert_eq!(g.degree(0), 4); // partners at 1, 2, 4, 8
+    }
+
+    #[test]
+    fn butterfly_is_hypercube() {
+        let g = butterfly(16, 1.0);
+        assert_eq!(g.num_edges(), 16 * 4 / 2);
+        for t in 0..16 {
+            assert_eq!(g.degree(t), 4);
+            for (u, _) in g.neighbors(t) {
+                assert_eq!((t ^ u).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn butterfly_rejects_non_power() {
+        butterfly(12, 1.0);
+    }
+
+    #[test]
+    fn transpose_pairs_off_diagonal() {
+        let g = transpose(4, 10.0);
+        assert_eq!(g.num_tasks(), 16);
+        // side*(side-1)/2 pairs.
+        assert_eq!(g.num_edges(), 6);
+        // Diagonal tasks don't communicate.
+        for d in 0..4 {
+            assert_eq!(g.degree(d * 4 + d), 0);
+        }
+        assert_eq!(g.edge_weight(1, 4), Some(20.0)); // (0,1) <-> (1,0)
+    }
+
+    #[test]
+    fn sweep2d_structure() {
+        let g = sweep2d(3, 3, 1.0);
+        // Same undirected edge set as an open 3x3 stencil.
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 2); // corner: east + south
+        assert_eq!(g.degree(4), 4); // center
+    }
+
+    #[test]
+    fn butterfly_embeds_in_hypercube_not_torus() {
+        // Sanity: the butterfly's ideal host is the hypercube.
+        let g = butterfly(8, 1.0);
+        // Total comm = 12 edges * 2.0
+        assert_eq!(g.total_comm(), 24.0);
+    }
+}

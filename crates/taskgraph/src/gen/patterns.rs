@@ -1,0 +1,67 @@
+//! Simple deterministic communication patterns (ring, all-to-all).
+//!
+//! Used as stress inputs for the mappers and as degenerate cases for the
+//! test suite: a ring embeds perfectly in any torus (hops-per-byte 1 is
+//! achievable), while all-to-all admits *no* locality — every mapping has
+//! the same hop-bytes on a vertex-transitive topology, which makes it a
+//! sharp correctness probe for the metric code.
+
+use crate::TaskGraph;
+
+/// A ring of `n` tasks, each exchanging `msg_bytes` per iteration with its
+/// two ring neighbors.
+pub fn ring(n: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(n >= 2);
+    let mut b = TaskGraph::builder(n);
+    let w = 2.0 * msg_bytes;
+    for i in 0..n {
+        b.add_comm(i, (i + 1) % n, w);
+    }
+    b.build()
+}
+
+/// Complete communication: every pair of tasks exchanges `msg_bytes`.
+pub fn all_to_all(n: usize, msg_bytes: f64) -> TaskGraph {
+    assert!(n >= 2);
+    let mut b = TaskGraph::builder(n);
+    let w = 2.0 * msg_bytes;
+    for a in 0..n {
+        for bb in (a + 1)..n {
+            b.add_comm(a, bb, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(6, 10.0);
+        assert_eq!(g.num_edges(), 6);
+        for t in 0..6 {
+            assert_eq!(g.degree(t), 2);
+            assert_eq!(g.weighted_degree(t), 40.0);
+        }
+    }
+
+    #[test]
+    fn ring_of_two_has_single_edge() {
+        let g = ring(2, 5.0);
+        assert_eq!(g.num_edges(), 1);
+        // Two add_comm calls (0->1 and 1->0 wrap) merge into one edge of 2*w.
+        assert_eq!(g.edge_weight(0, 1), Some(20.0));
+    }
+
+    #[test]
+    fn all_to_all_structure() {
+        let g = all_to_all(5, 1.0);
+        assert_eq!(g.num_edges(), 10);
+        for t in 0..5 {
+            assert_eq!(g.degree(t), 4);
+        }
+        assert_eq!(g.total_comm(), 20.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded random task graphs.
+//!
+//! All generators take an explicit `u64` seed and use `StdRng`, so the same
+//! inputs reproduce the same graph on every platform — experiments and
+//! tests depend on this determinism.
+
+use crate::TaskGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An Erdős–Rényi-style random task graph: `n` tasks, each of the
+/// `n·avg_degree/2` undirected edges drawn uniformly (duplicates merge, so
+/// the realized average degree is slightly below the target on dense
+/// inputs). Edge weights are uniform in `[min_bytes, max_bytes]`, vertex
+/// weights uniform in `[0.5, 1.5]`.
+pub fn random_graph(
+    n: usize,
+    avg_degree: f64,
+    min_bytes: f64,
+    max_bytes: f64,
+    seed: u64,
+) -> TaskGraph {
+    assert!(n >= 2);
+    assert!(avg_degree >= 0.0 && avg_degree < n as f64);
+    assert!(min_bytes <= max_bytes && min_bytes >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraph::builder(n);
+    for t in 0..n {
+        b.set_task_weight(t, rng.gen_range(0.5..1.5));
+    }
+    let m = ((n as f64) * avg_degree / 2.0).round() as usize;
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    while placed < m && attempts < 20 * m + 100 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let bb = rng.gen_range(0..n);
+        if a == bb {
+            continue;
+        }
+        let w = if (max_bytes - min_bytes).abs() < f64::EPSILON {
+            min_bytes
+        } else {
+            rng.gen_range(min_bytes..max_bytes)
+        };
+        b.add_comm(a, bb, w);
+        placed += 1;
+    }
+    b.build()
+}
+
+/// A random geometric task graph: `n` tasks at uniform positions in the
+/// unit square, connected when within `radius`; edge weight decays
+/// linearly with distance from `max_bytes` at distance 0 to `min_bytes`
+/// at the cutoff. Produces the spatial locality structure typical of
+/// scientific applications (and hence mappable with low hop-bytes).
+pub fn random_geometric(
+    n: usize,
+    radius: f64,
+    min_bytes: f64,
+    max_bytes: f64,
+    seed: u64,
+) -> TaskGraph {
+    assert!(n >= 2);
+    assert!(radius > 0.0);
+    assert!(min_bytes <= max_bytes && min_bytes >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let mut b = TaskGraph::builder(n);
+    for t in 0..n {
+        b.set_task_weight(t, rng.gen_range(0.5..1.5));
+    }
+    for a in 0..n {
+        for bb in (a + 1)..n {
+            let dx = pts[a].0 - pts[bb].0;
+            let dy = pts[a].1 - pts[bb].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d <= radius {
+                let w = max_bytes - (max_bytes - min_bytes) * (d / radius);
+                b.add_comm(a, bb, w);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g1 = random_graph(50, 4.0, 10.0, 100.0, 42);
+        let g2 = random_graph(50, 4.0, 10.0, 100.0, 42);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let g1 = random_graph(50, 4.0, 10.0, 100.0, 1);
+        let g2 = random_graph(50, 4.0, 10.0, 100.0, 2);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn approximate_degree_target() {
+        let g = random_graph(200, 6.0, 1.0, 1.0, 7);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_tasks() as f64;
+        assert!(avg > 4.5 && avg <= 6.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn weights_within_bounds() {
+        let g = random_graph(40, 3.0, 5.0, 9.0, 3);
+        for (_, _, w) in g.edges() {
+            // Merged duplicates can exceed max_bytes, but singles respect it.
+            assert!(w >= 5.0);
+        }
+    }
+
+    #[test]
+    fn geometric_graph_is_local() {
+        let g = random_geometric(100, 0.2, 1.0, 10.0, 11);
+        // Determinism.
+        assert_eq!(g, random_geometric(100, 0.2, 1.0, 10.0, 11));
+        // Sparse: far fewer edges than complete.
+        assert!(g.num_edges() < 100 * 99 / 4);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn zero_degree_graph_has_no_edges() {
+        let g = random_graph(10, 0.0, 1.0, 2.0, 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

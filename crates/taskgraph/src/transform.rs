@@ -1,0 +1,188 @@
+//! Task-graph transformations: the operations a long-running adaptive
+//! application applies to its measured communication graph between load-
+//! balancing steps (load drift, refinement-induced merges, composition of
+//! phases).
+
+use crate::{TaskGraph, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale every edge weight by `comm_factor` and every vertex weight by
+/// `load_factor` (e.g. modeling a timestep change).
+pub fn scale(g: &TaskGraph, load_factor: f64, comm_factor: f64) -> TaskGraph {
+    assert!(load_factor >= 0.0 && comm_factor >= 0.0);
+    let mut b = TaskGraph::builder(g.num_tasks());
+    for t in 0..g.num_tasks() {
+        b.set_task_weight(t, g.vertex_weight(t) * load_factor);
+    }
+    for (a, bb, w) in g.edges() {
+        b.add_comm(a, bb, w * comm_factor);
+    }
+    b.build()
+}
+
+/// Apply multiplicative jitter to vertex loads: each load is multiplied
+/// by a factor uniform in `[1-amount, 1+amount]`. Models the load drift
+/// that makes periodic re-balancing necessary (AMR refinement, particle
+/// migration).
+pub fn perturb_loads(g: &TaskGraph, amount: f64, seed: u64) -> TaskGraph {
+    assert!((0.0..1.0).contains(&amount));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraph::builder(g.num_tasks());
+    for t in 0..g.num_tasks() {
+        let f = 1.0 + rng.gen_range(-amount..=amount);
+        b.set_task_weight(t, g.vertex_weight(t) * f);
+    }
+    for (a, bb, w) in g.edges() {
+        b.add_comm(a, bb, w);
+    }
+    b.build()
+}
+
+/// Disjoint union: the tasks of `b` are renumbered after those of `a`
+/// (two independent application modules sharing a machine).
+pub fn disjoint_union(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
+    let na = a.num_tasks();
+    let mut out = TaskGraph::builder(na + b.num_tasks());
+    for t in 0..na {
+        out.set_task_weight(t, a.vertex_weight(t));
+    }
+    for t in 0..b.num_tasks() {
+        out.set_task_weight(na + t, b.vertex_weight(t));
+    }
+    for (x, y, w) in a.edges() {
+        out.add_comm(x, y, w);
+    }
+    for (x, y, w) in b.edges() {
+        out.add_comm(na + x, na + y, w);
+    }
+    out.build()
+}
+
+/// Overlay: sum the communication of two graphs on the same task set
+/// (an application with two communication phases, e.g. halo exchange +
+/// transpose).
+pub fn overlay(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
+    assert_eq!(a.num_tasks(), b.num_tasks(), "overlay needs equal task sets");
+    let mut out = TaskGraph::builder(a.num_tasks());
+    for t in 0..a.num_tasks() {
+        out.set_task_weight(t, a.vertex_weight(t) + b.vertex_weight(t));
+    }
+    for (x, y, w) in a.edges().chain(b.edges()) {
+        out.add_comm(x, y, w);
+    }
+    out.build()
+}
+
+/// Drop edges lighter than `threshold` bytes (focus mapping effort on the
+/// heavy structure; the paper's LB framework does the same when building
+/// its database from sampled communication).
+pub fn prune_light_edges(g: &TaskGraph, threshold: f64) -> TaskGraph {
+    let mut b = TaskGraph::builder(g.num_tasks());
+    for t in 0..g.num_tasks() {
+        b.set_task_weight(t, g.vertex_weight(t));
+    }
+    for (x, y, w) in g.edges() {
+        if w >= threshold {
+            b.add_comm(x, y, w);
+        }
+    }
+    b.build()
+}
+
+/// Relabel tasks by a permutation: `perm[old] = new`. Useful for testing
+/// label-invariance of mappers and metrics.
+pub fn relabel(g: &TaskGraph, perm: &[TaskId]) -> TaskGraph {
+    assert_eq!(perm.len(), g.num_tasks());
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(p < perm.len() && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    let mut b = TaskGraph::builder(g.num_tasks());
+    for t in 0..g.num_tasks() {
+        b.set_task_weight(perm[t], g.vertex_weight(t));
+    }
+    for (x, y, w) in g.edges() {
+        b.add_comm(perm[x], perm[y], w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn scale_scales() {
+        let g = gen::ring(5, 100.0);
+        let s = scale(&g, 2.0, 3.0);
+        assert_eq!(s.total_vertex_weight(), 2.0 * g.total_vertex_weight());
+        assert!((s.total_comm() - 3.0 * g.total_comm()).abs() < 1e-9);
+        assert_eq!(s.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn perturb_keeps_structure() {
+        let g = gen::stencil2d(4, 4, 10.0, false);
+        let p = perturb_loads(&g, 0.3, 7);
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert_eq!(p, perturb_loads(&g, 0.3, 7), "deterministic");
+        for t in 0..16 {
+            let ratio = p.vertex_weight(t) / g.vertex_weight(t);
+            assert!(ratio >= 0.7 - 1e-9 && ratio <= 1.3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn union_offsets_ids() {
+        let a = gen::ring(3, 1.0);
+        let b = gen::ring(4, 2.0);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.num_tasks(), 7);
+        assert_eq!(u.num_edges(), 3 + 4);
+        assert_eq!(u.edge_weight(3, 4), Some(4.0)); // b's first edge
+        assert_eq!(u.edge_weight(2, 3), None, "no cross edges");
+    }
+
+    #[test]
+    fn overlay_sums() {
+        let a = gen::ring(4, 10.0);
+        let b = gen::all_to_all(4, 1.0);
+        let o = overlay(&a, &b);
+        // Ring edge (0,1): 20 from ring + 2 from all-to-all.
+        assert_eq!(o.edge_weight(0, 1), Some(22.0));
+        // Diagonal (0,2): only all-to-all.
+        assert_eq!(o.edge_weight(0, 2), Some(2.0));
+        assert_eq!(o.vertex_weight(0), 2.0);
+    }
+
+    #[test]
+    fn prune_drops_light() {
+        let mut b = TaskGraph::builder(3);
+        b.add_comm(0, 1, 5.0).add_comm(1, 2, 50.0);
+        let g = b.build();
+        let p = prune_light_edges(&g, 10.0);
+        assert_eq!(p.num_edges(), 1);
+        assert_eq!(p.edge_weight(1, 2), Some(50.0));
+    }
+
+    #[test]
+    fn relabel_is_isomorphism() {
+        let g = gen::stencil2d(3, 3, 7.0, false);
+        let perm: Vec<usize> = (0..9).map(|t| (t + 4) % 9).collect();
+        let r = relabel(&g, &perm);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert!((r.total_comm() - g.total_comm()).abs() < 1e-9);
+        // Edge (0,1) in g appears as (perm[0], perm[1]).
+        assert_eq!(r.edge_weight(perm[0], perm[1]), g.edge_weight(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = gen::ring(3, 1.0);
+        relabel(&g, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,452 @@
+//! N-dimensional torus and mesh topologies with closed-form distances and
+//! dimension-ordered routing.
+//!
+//! This is the machine family the paper targets: "the packaging
+//! considerations for a large number of processors lead to the choice of a
+//! mesh or a torus topology" (§1). A [`Torus`] carries a per-dimension
+//! wraparound flag, so the same type models BlueGene's 3D-torus *and* the
+//! 3D-mesh it "can be converted to, if required".
+
+use crate::coords::{self, Coords};
+use crate::{NodeId, RoutedTopology, Topology};
+
+/// An N-dimensional grid, torus, or mixed-wrap machine.
+///
+/// Distances are computed in O(dims) from coordinates — no `p × p` matrix —
+/// so mapping algorithms hit the paper's stated complexity even at
+/// thousands of processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Torus {
+    dims: Vec<usize>,
+    wrap: Vec<bool>,
+    strides: Vec<usize>,
+    nodes: usize,
+}
+
+impl Torus {
+    /// General constructor: `dims[d]` processors along dimension `d`,
+    /// `wrap[d]` selects torus (true) vs mesh (false) behaviour per
+    /// dimension.
+    ///
+    /// Panics on empty dims, zero-size dimensions, or length mismatch.
+    pub fn new(dims: &[usize], wrap: &[bool]) -> Self {
+        assert!(!dims.is_empty(), "at least one dimension required");
+        assert_eq!(dims.len(), wrap.len(), "dims/wrap length mismatch");
+        assert!(dims.iter().all(|&d| d > 0), "zero-size dimension");
+        let nodes = dims.iter().product();
+        Torus {
+            strides: coords::strides(dims),
+            dims: dims.to_vec(),
+            wrap: wrap.to_vec(),
+            nodes,
+        }
+    }
+
+    /// Fully wrapped torus.
+    pub fn torus(dims: &[usize]) -> Self {
+        Self::new(dims, &vec![true; dims.len()])
+    }
+
+    /// Fully unwrapped mesh.
+    pub fn mesh(dims: &[usize]) -> Self {
+        Self::new(dims, &vec![false; dims.len()])
+    }
+
+    pub fn torus_1d(n: usize) -> Self {
+        Self::torus(&[n])
+    }
+    pub fn mesh_1d(n: usize) -> Self {
+        Self::mesh(&[n])
+    }
+    pub fn torus_2d(x: usize, y: usize) -> Self {
+        Self::torus(&[x, y])
+    }
+    pub fn mesh_2d(x: usize, y: usize) -> Self {
+        Self::mesh(&[x, y])
+    }
+    pub fn torus_3d(x: usize, y: usize, z: usize) -> Self {
+        Self::torus(&[x, y, z])
+    }
+    pub fn mesh_3d(x: usize, y: usize, z: usize) -> Self {
+        Self::mesh(&[x, y, z])
+    }
+
+    /// A near-square 2D torus with `p` nodes: side `√p` when `p` is a
+    /// perfect square, otherwise the most balanced `a × b = p`
+    /// factorization. Used by the paper's §5.2 sweeps where "tori of
+    /// various sizes" are built per processor count.
+    pub fn torus_2d_for(p: usize) -> Self {
+        let (a, b) = balanced_factors_2(p);
+        Self::torus_2d(a, b)
+    }
+
+    /// A near-cubic 3D torus with `p` nodes (balanced 3-factorization).
+    pub fn torus_3d_for(p: usize) -> Self {
+        let (a, b, c) = balanced_factors_3(p);
+        Self::torus_3d(a, b, c)
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    pub fn wrap(&self) -> &[bool] {
+        &self.wrap
+    }
+
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Is every dimension wrapped (true torus)?
+    pub fn is_full_torus(&self) -> bool {
+        self.wrap.iter().all(|&w| w)
+    }
+
+    /// Coordinates of a node.
+    pub fn coords(&self, node: NodeId) -> Coords {
+        debug_assert!(node < self.nodes);
+        coords::delinearize(node, &self.dims)
+    }
+
+    /// Node id for coordinates.
+    pub fn node_at(&self, c: &[usize]) -> NodeId {
+        coords::linearize(c, &self.dims)
+    }
+
+    /// Distance along a single dimension, wrap-aware.
+    #[inline]
+    fn dim_distance(&self, d: usize, a: usize, b: usize) -> u32 {
+        let raw = a.abs_diff(b);
+        if self.wrap[d] {
+            raw.min(self.dims[d] - raw) as u32
+        } else {
+            raw as u32
+        }
+    }
+
+    /// Signed step (+1 / -1) that moves `a` toward `b` along dimension `d`
+    /// on the shortest arc. Ties (exactly half way around a wrapped
+    /// dimension) break toward +1 so routing is deterministic.
+    #[inline]
+    fn dim_step(&self, d: usize, a: usize, b: usize) -> isize {
+        debug_assert_ne!(a, b);
+        let n = self.dims[d];
+        if !self.wrap[d] {
+            return if b > a { 1 } else { -1 };
+        }
+        let fwd = (b + n - a) % n; // steps going +1
+        let bwd = (a + n - b) % n; // steps going -1
+        if fwd <= bwd {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        debug_assert!(a < self.nodes && b < self.nodes);
+        let mut total = 0u32;
+        for d in 0..self.dims.len() {
+            let ca = coords::coord_of(a, self.dims[d], self.strides[d]);
+            let cb = coords::coord_of(b, self.dims[d], self.strides[d]);
+            total += self.dim_distance(d, ca, cb);
+        }
+        total
+    }
+
+    fn name(&self) -> String {
+        let kind = if self.wrap.iter().all(|&w| w) {
+            "Torus"
+        } else if self.wrap.iter().all(|&w| !w) {
+            "Mesh"
+        } else {
+            "MixedWrap"
+        };
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        format!("{}D-{}({})", self.dims.len(), kind, dims.join("x"))
+    }
+
+    fn diameter(&self) -> u32 {
+        // Closed form: per-dimension maximum, summed.
+        self.dims
+            .iter()
+            .zip(&self.wrap)
+            .map(|(&n, &w)| if w { (n / 2) as u32 } else { (n - 1) as u32 })
+            .sum()
+    }
+}
+
+impl RoutedTopology for Torus {
+    fn neighbors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let c = self.coords(node);
+        for d in 0..self.dims.len() {
+            let n = self.dims[d];
+            if n == 1 {
+                continue;
+            }
+            let x = c.get(d);
+            let stride = self.strides[d];
+            // +1 direction
+            if x + 1 < n {
+                out.push(node + stride);
+            } else if self.wrap[d] && n > 2 {
+                out.push(node - (n - 1) * stride);
+            }
+            // -1 direction
+            if x > 0 {
+                out.push(node - stride);
+            } else if self.wrap[d] && n > 2 {
+                out.push(node + (n - 1) * stride);
+            }
+            // n == 2 with wrap: +1 and -1 reach the same node; emit once.
+            if self.wrap[d] && n == 2 {
+                let other = if x == 0 { node + stride } else { node - stride };
+                if !out.contains(&other) {
+                    out.push(other);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn next_hop(&self, cur: NodeId, dest: NodeId) -> NodeId {
+        debug_assert_ne!(cur, dest, "next_hop called at destination");
+        // Dimension-ordered (e-cube) routing: correct dimensions in order,
+        // each along its shortest arc.
+        for d in 0..self.dims.len() {
+            let a = coords::coord_of(cur, self.dims[d], self.strides[d]);
+            let b = coords::coord_of(dest, self.dims[d], self.strides[d]);
+            if a == b {
+                continue;
+            }
+            let step = self.dim_step(d, a, b);
+            let n = self.dims[d];
+            let na = if step == 1 { (a + 1) % n } else { (a + n - 1) % n };
+            return cur - a * self.strides[d] + na * self.strides[d];
+        }
+        unreachable!("cur == dest");
+    }
+}
+
+/// Most balanced `(a, b)` with `a * b == p` and `a <= b`.
+pub fn balanced_factors_2(p: usize) -> (usize, usize) {
+    assert!(p > 0);
+    let mut best = (1, p);
+    let mut a = 1usize;
+    while a * a <= p {
+        if p % a == 0 {
+            best = (a, p / a);
+        }
+        a += 1;
+    }
+    best
+}
+
+/// Most balanced `(a, b, c)` with `a * b * c == p`, minimizing the spread
+/// `max - min`; ties broken by larger minimum side.
+pub fn balanced_factors_3(p: usize) -> (usize, usize, usize) {
+    assert!(p > 0);
+    let mut best = (1usize, 1usize, p);
+    let mut best_key = (p as i64 - 1, -(1i64));
+    let mut a = 1usize;
+    while a * a * a <= p {
+        if p % a == 0 {
+            let q = p / a;
+            let (b, c) = balanced_factors_2(q);
+            let (lo, hi) = (a.min(b), c.max(a));
+            let key = (hi as i64 - lo as i64, -(lo as i64));
+            if key < best_key {
+                best_key = key;
+                best = (a, b, c);
+            }
+        }
+        a += 1;
+    }
+    let mut v = [best.0, best.1, best.2];
+    v.sort_unstable();
+    (v[0], v[1], v[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphTopology;
+
+    /// BFS ground truth for validating closed-form distances.
+    fn as_graph(t: &Torus) -> GraphTopology {
+        let mut edges = Vec::new();
+        let mut nbrs = Vec::new();
+        for a in 0..t.num_nodes() {
+            t.neighbors_into(a, &mut nbrs);
+            for &b in &nbrs {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        GraphTopology::from_edges(t.num_nodes(), &edges)
+    }
+
+    #[test]
+    fn torus_2d_distance_examples() {
+        let t = Torus::torus_2d(4, 4);
+        // (0,0) to (3,3): wrap both dims -> 1 + 1 = 2.
+        assert_eq!(t.distance(t.node_at(&[0, 0]), t.node_at(&[3, 3])), 2);
+        // (0,0) to (2,2): 2 + 2 = 4.
+        assert_eq!(t.distance(t.node_at(&[0, 0]), t.node_at(&[2, 2])), 4);
+    }
+
+    #[test]
+    fn mesh_2d_distance_is_manhattan() {
+        let t = Torus::mesh_2d(5, 7);
+        for a in 0..35 {
+            for b in 0..35 {
+                let ca = t.coords(a);
+                let cb = t.coords(b);
+                let manhattan =
+                    ca.get(0).abs_diff(cb.get(0)) + ca.get(1).abs_diff(cb.get(1));
+                assert_eq!(t.distance(a, b), manhattan as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_bfs_torus() {
+        for t in [
+            Torus::torus_2d(5, 4),
+            Torus::torus_3d(3, 4, 2),
+            Torus::mesh_3d(3, 3, 3),
+            Torus::new(&[4, 3, 2], &[true, false, true]),
+            Torus::torus_1d(7),
+            Torus::mesh_1d(6),
+        ] {
+            let g = as_graph(&t);
+            for a in 0..t.num_nodes() {
+                for b in 0..t.num_nodes() {
+                    assert_eq!(
+                        t.distance(a, b),
+                        g.distance(a, b),
+                        "{} d({a},{b})",
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_intro_machine_stats() {
+        // §1: "(16,16,16) 3D-Torus on 4k processors has a diameter of 24
+        // hops and the average internode distance of 12 hops."
+        let t = Torus::torus_3d(16, 16, 16);
+        assert_eq!(t.num_nodes(), 4096);
+        assert_eq!(t.diameter(), 24);
+        let avg = crate::stats::average_pairwise_distance(&t);
+        assert!((avg - 12.0).abs() < 0.02, "avg = {avg}");
+    }
+
+    #[test]
+    fn diameter_closed_form_matches_bruteforce() {
+        for t in [
+            Torus::torus_2d(4, 5),
+            Torus::mesh_2d(3, 6),
+            Torus::torus_3d(3, 3, 4),
+            Torus::new(&[5, 2], &[false, true]),
+        ] {
+            let n = t.num_nodes();
+            let mut brute = 0;
+            for a in 0..n {
+                for b in 0..n {
+                    brute = brute.max(t.distance(a, b));
+                }
+            }
+            assert_eq!(t.diameter(), brute, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn neighbors_degree() {
+        let t = Torus::torus_3d(4, 4, 4);
+        for a in 0..t.num_nodes() {
+            assert_eq!(t.degree(a), 6, "interior torus node has 6 neighbors");
+        }
+        let m = Torus::mesh_2d(3, 3);
+        assert_eq!(m.degree(m.node_at(&[1, 1])), 4);
+        assert_eq!(m.degree(m.node_at(&[0, 0])), 2);
+        assert_eq!(m.degree(m.node_at(&[0, 1])), 3);
+    }
+
+    #[test]
+    fn two_wide_wrapped_dim_has_single_link() {
+        // With n == 2, +1 and -1 wrap to the same node: degree must not
+        // double-count.
+        let t = Torus::torus_2d(2, 2);
+        for a in 0..4 {
+            assert_eq!(t.degree(a), 2);
+        }
+    }
+
+    #[test]
+    fn next_hop_progresses_and_reaches() {
+        let t = Torus::new(&[4, 5, 3], &[true, false, true]);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                if a == b {
+                    continue;
+                }
+                let mut cur = a;
+                let mut hops = 0;
+                while cur != b {
+                    let nxt = t.next_hop(cur, b);
+                    assert_eq!(
+                        t.distance(nxt, b),
+                        t.distance(cur, b) - 1,
+                        "hop must reduce distance by exactly 1"
+                    );
+                    cur = nxt;
+                    hops += 1;
+                    assert!(hops <= t.diameter(), "routing loop");
+                }
+                assert_eq!(hops, t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_factorizations() {
+        assert_eq!(balanced_factors_2(16), (4, 4));
+        assert_eq!(balanced_factors_2(18), (3, 6));
+        assert_eq!(balanced_factors_2(13), (1, 13));
+        assert_eq!(balanced_factors_3(64), (4, 4, 4));
+        assert_eq!(balanced_factors_3(512), (8, 8, 8));
+        assert_eq!(balanced_factors_3(1000), (10, 10, 10));
+        let (a, b, c) = balanced_factors_3(1024);
+        assert_eq!(a * b * c, 1024);
+        assert!(c - a <= 8, "1024 should factor near-cubically: {a},{b},{c}");
+    }
+
+    #[test]
+    fn torus_2d_for_perfect_square() {
+        let t = Torus::torus_2d_for(4096);
+        assert_eq!(t.dims(), &[64, 64]);
+    }
+
+    #[test]
+    fn name_strings() {
+        assert_eq!(Torus::torus_3d(8, 8, 8).name(), "3D-Torus(8x8x8)");
+        assert_eq!(Torus::mesh_2d(4, 6).name(), "2D-Mesh(4x6)");
+        assert_eq!(
+            Torus::new(&[2, 3], &[true, false]).name(),
+            "2D-MixedWrap(2x3)"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the topology metric and routing invariants.
+
+use proptest::prelude::*;
+use topomap_topology::{
+    stats, CachedTopology, FatTree, GraphTopology, Hypercube, RoutedTopology, Topology, Torus,
+};
+
+/// Strategy producing small random tori/meshes (≤ ~200 nodes).
+fn arb_torus() -> impl Strategy<Value = Torus> {
+    (
+        proptest::collection::vec(1usize..=6, 1..=4),
+        proptest::collection::vec(any::<bool>(), 4),
+    )
+        .prop_map(|(dims, wrap)| {
+            let wrap = &wrap[..dims.len()];
+            Torus::new(&dims, wrap)
+        })
+}
+
+/// Strategy producing small random connected graphs: a random spanning
+/// path plus extra random edges.
+fn arb_connected_graph() -> impl Strategy<Value = GraphTopology> {
+    (2usize..=24).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), 0..(2 * n));
+        extra.prop_map(move |extra| {
+            let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+            edges.extend(extra.into_iter().filter(|&(a, b)| a != b));
+            GraphTopology::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn torus_metric_axioms(t in arb_torus(), seed in any::<u64>()) {
+        let n = t.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 7) % n;
+        let c = (seed as usize / 49) % n;
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        prop_assert!(t.distance(a, b) <= t.diameter());
+    }
+
+    #[test]
+    fn torus_closed_form_equals_bfs(t in arb_torus()) {
+        let g = GraphTopology::from_topology(&t);
+        let n = t.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(t.distance(a, b), g.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routing_reaches_destination(t in arb_torus(), seed in any::<u64>()) {
+        let n = t.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 13) % n;
+        let route = t.route(a, b);
+        prop_assert_eq!(route.len() as u32, t.distance(a, b));
+        let mut cur = a;
+        for l in &route {
+            prop_assert_eq!(l.from, cur);
+            prop_assert_eq!(t.distance(cur, l.to), 1);
+            cur = l.to;
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn graph_metric_axioms(g in arb_connected_graph(), seed in any::<u64>()) {
+        let n = g.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 7) % n;
+        let c = (seed as usize / 49) % n;
+        prop_assert_eq!(g.distance(a, a), 0);
+        prop_assert_eq!(g.distance(a, b), g.distance(b, a));
+        prop_assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
+    }
+
+    #[test]
+    fn graph_routing_is_shortest(g in arb_connected_graph()) {
+        let n = g.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                prop_assert_eq!(g.route(a, b).len() as u32, g.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_agree_with_distance_one(t in arb_torus()) {
+        let n = t.num_nodes();
+        let mut nbrs = Vec::new();
+        for a in 0..n {
+            t.neighbors_into(a, &mut nbrs);
+            for &b in &nbrs {
+                prop_assert_eq!(t.distance(a, b), 1, "{} {} {}", t.name(), a, b);
+            }
+            // And conversely: every distance-1 node is a neighbor.
+            for b in 0..n {
+                if t.distance(a, b) == 1 {
+                    prop_assert!(nbrs.contains(&b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avg_dist_table_consistent(t in arb_torus()) {
+        let table = stats::AvgDistTable::new(&t);
+        let n = t.num_nodes();
+        for a in 0..n {
+            let s: u64 = (0..n).map(|b| t.distance(a, b) as u64).sum();
+            prop_assert_eq!(table.sum(a), s);
+        }
+        let center = table.center();
+        for a in 0..n {
+            prop_assert!(table.sum(center) <= table.sum(a));
+        }
+    }
+
+    #[test]
+    fn hypercube_metric_is_hamming(dims in 1u32..=8, seed in any::<u64>()) {
+        let h = Hypercube::new(dims);
+        let n = h.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 3) % n;
+        prop_assert_eq!(h.distance(a, b), (a ^ b).count_ones());
+        if a != b {
+            prop_assert_eq!(h.route(a, b).len() as u32, h.distance(a, b));
+        }
+    }
+
+    #[test]
+    fn productive_neighbors_are_exactly_the_closer_ones(t in arb_torus(), seed in any::<u64>()) {
+        let n = t.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 3) % n;
+        prop_assume!(a != b);
+        let mut prod = Vec::new();
+        t.productive_neighbors_into(a, b, &mut prod);
+        prop_assert!(!prod.is_empty());
+        let d = t.distance(a, b);
+        let mut expected: Vec<usize> = t
+            .neighbors(a)
+            .into_iter()
+            .filter(|&v| t.distance(v, b) == d - 1)
+            .collect();
+        let mut got = prod.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        // The deterministic next hop is always among the productive set.
+        prop_assert!(prod.contains(&t.next_hop(a, b)));
+    }
+
+    #[test]
+    fn cached_topology_is_transparent(t in arb_torus()) {
+        let c = CachedTopology::new(t.clone());
+        let n = t.num_nodes();
+        for a in 0..n {
+            prop_assert_eq!(c.sum_distance_from(a), t.sum_distance_from(a));
+            for b in 0..n {
+                prop_assert_eq!(c.distance(a, b), t.distance(a, b));
+            }
+        }
+        prop_assert_eq!(c.diameter(), t.diameter());
+        prop_assert_eq!(c.links(), t.links());
+    }
+
+    #[test]
+    fn fattree_metric_axioms(arity in 2usize..=4, levels in 1u32..=3, seed in any::<u64>()) {
+        let t = FatTree::new(arity, levels);
+        let n = t.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 11) % n;
+        let c = (seed as usize / 121) % n;
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+        // Fat-tree distances are always even.
+        prop_assert_eq!(t.distance(a, b) % 2, 0);
+    }
+}

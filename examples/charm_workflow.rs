@@ -1,0 +1,79 @@
+//! The Charm++ measurement-based load-balancing workflow, end to end:
+//!
+//! 1. run communicating objects on worker threads with instrumentation,
+//! 2. dump the measured LB database to disk (`+LBDump`),
+//! 3. replay the dump offline against every registered strategy
+//!    (`+LBSim`) — all strategies see the identical load scenario,
+//! 4. migrate the live runtime to the winning assignment and keep going.
+//!
+//! Run: `cargo run --release --example charm_workflow`
+
+use topomap::lb::dump::{read_step, write_step, LbDump};
+use topomap::lb::runtime::Runtime;
+use topomap::lb::{replay, strategy};
+use topomap::prelude::*;
+
+fn main() {
+    let machine = Torus::torus_2d(4, 4);
+    let p = machine.num_nodes();
+
+    // An over-decomposed application: 128 objects on 16 "processors"
+    // (worker threads), communicating in a 2D stencil.
+    let app = topomap::taskgraph::gen::stencil2d(16, 8, 2048.0, false);
+    let mut runtime = Runtime::from_task_graph(&app, p, 200.0);
+
+    // --- 1. instrumented execution ---
+    println!("running {} objects on {p} workers (instrumented)...", app.num_tasks());
+    let db = runtime.run_instrumented(3);
+    println!(
+        "measured: total load {:.1} ms, {} comm records, {:.1} KiB traffic\n",
+        db.total_load() * 1e3,
+        db.comm.len(),
+        db.total_bytes() / 1024.0
+    );
+
+    // --- 2. +LBDump ---
+    let dir = std::env::temp_dir().join("topomap-charm-workflow");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let base = dir.join("app");
+    let path = write_step(&base, &LbDump { step: 0, num_procs: p, database: db })
+        .expect("dump written");
+    println!("dumped LB database to {}\n", path.display());
+
+    // --- 3. +LBSim: compare every strategy on the same scenario ---
+    let dump = read_step(&base, 0).expect("dump read");
+    println!(
+        "{:<14} {:>14} {:>12} {:>14}",
+        "strategy", "hops-per-byte", "imbalance", "hop-bytes (KB)"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for name in strategy::all_names() {
+        let s = strategy::by_name(name).expect("registered");
+        let report = replay::evaluate(&dump.database, &machine, s.as_ref());
+        println!(
+            "{:<14} {:>14.3} {:>12.2} {:>14.1}",
+            report.strategy,
+            report.hops_per_byte,
+            report.load_imbalance,
+            report.hop_bytes / 1024.0
+        );
+        if best.as_ref().map(|(_, h)| report.hops_per_byte < *h).unwrap_or(true) {
+            best = Some((report.strategy.clone(), report.hops_per_byte));
+        }
+    }
+    let (winner, hpb) = best.expect("at least one strategy");
+    println!("\nwinner: {winner} (hops-per-byte {hpb:.3})");
+
+    // --- 4. migrate and continue ---
+    let assignment = strategy::by_name(&winner)
+        .expect("winner registered")
+        .assign(&dump.database, &machine);
+    runtime.migrate(&assignment);
+    let db2 = runtime.run_instrumented(2);
+    println!(
+        "resumed after migration: {} comm records re-measured, still {} objects",
+        db2.comm.len(),
+        db2.num_objects()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,71 @@
+//! Mapping onto an irregular machine: the algorithms "work for arbitrary
+//! network topologies" (§3), not just tori.
+//!
+//! Builds a two-switch fat-node cluster as an explicit graph — two rings
+//! of eight nodes bridged by a single pair of uplinks — and shows TopoLB
+//! steering heavy traffic away from the bridge.
+//!
+//! Run: `cargo run --release --example custom_topology`
+
+use topomap::core::metrics::LinkLoads;
+use topomap::prelude::*;
+
+fn main() {
+    // Machine: nodes 0..8 form ring A, 8..16 form ring B; nodes 0 and 8
+    // are the bridge (one uplink pair). A classic "two racks, thin
+    // inter-rack pipe" shape.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..8usize {
+        edges.push((i, (i + 1) % 8));
+        edges.push((8 + i, 8 + (i + 1) % 8));
+    }
+    edges.push((0, 8));
+    let machine = GraphTopology::from_edges_named(16, &edges, "TwoRacks(8+8)".into());
+    println!("machine: {} (diameter {})\n", machine.name(), machine.diameter());
+
+    // Application: two tight 8-task cliques with one thin edge between
+    // them — the communication structure *wants* to live one clique per
+    // rack.
+    let mut b = TaskGraph::builder(16);
+    for a in 0..8usize {
+        for c in (a + 1)..8 {
+            b.add_comm(a, c, 10_000.0);
+            b.add_comm(8 + a, 8 + c, 10_000.0);
+        }
+    }
+    b.add_comm(0, 8, 500.0); // thin cross-traffic
+    let tasks = b.build();
+
+    for (name, mapping) in [
+        ("Random", RandomMap::new(3).map(&tasks, &machine)),
+        ("TopoLB", TopoLb::default().map(&tasks, &machine)),
+        (
+            "TopoLB+Refine",
+            RefineTopoLb::new(TopoLb::default()).map(&tasks, &machine),
+        ),
+    ] {
+        let hpb = hops_per_byte(&tasks, &machine, &mapping);
+        let loads = LinkLoads::compute(&tasks, &machine, &mapping);
+        // The bridge is the pair of directed links between 0 and 8.
+        let bridge: f64 = loads
+            .links()
+            .iter()
+            .zip(loads.loads())
+            .filter(|(l, _)| (l.from == 0 && l.to == 8) || (l.from == 8 && l.to == 0))
+            .map(|(_, &w)| w)
+            .sum();
+        println!(
+            "{name:<14} hops-per-byte {hpb:>6.3}   bridge traffic {:>8.1} KiB   max link {:>8.1} KiB",
+            bridge / 1024.0,
+            loads.max_load() / 1024.0
+        );
+    }
+
+    println!(
+        "\nOn this all-to-all-in-cliques pattern the greedy pass alone cannot\n\
+         untangle the racks (every placement of a clique vertex looks alike\n\
+         mid-stream), but the swap refiner finds the two-rack split: after\n\
+         TopoLB+Refine the only bytes crossing the bridge are the\n\
+         application's genuine cross-rack traffic."
+    );
+}

@@ -1,0 +1,67 @@
+//! A machine with a degraded link: what mapping and routing each recover.
+//!
+//! Real torus machines run for months with a slow cable or an
+//! oversubscribed dimension. This example degrades one link of a (4,4,4)
+//! torus to 10% bandwidth and compares the four combinations of
+//! {random, TopoLB} × {deterministic, minimal-adaptive} routing —
+//! heterogeneous capacities are exactly the setting Taura & Chien's
+//! related-work scheme targets.
+//!
+//! Run: `cargo run --release --example degraded_machine`
+
+use topomap::netsim::config::{NicModel, RoutingMode};
+use topomap::netsim::trace;
+use topomap::prelude::*;
+
+fn main() {
+    let tasks = topomap::taskgraph::gen::stencil2d(8, 8, 2.0 * 2048.0, false);
+    let machine = Torus::torus_3d(4, 4, 4);
+    let tr = trace::stencil_trace(&tasks, 100, 5_000);
+
+    // Degrade a bundle of links around node 0 (a failing router linecard):
+    // all six of node 0's outgoing links at 10% speed.
+    let degraded: Vec<(usize, usize, f64)> = machine
+        .neighbors(0)
+        .into_iter()
+        .map(|n| (0usize, n, 0.1))
+        .collect();
+
+    let mappings = [
+        ("Random", RandomMap::new(3).map(&tasks, &machine)),
+        ("TopoLB", TopoLb::default().map(&tasks, &machine)),
+    ];
+
+    println!(
+        "degraded machine: {} with node 0's outgoing links at 10% bandwidth\n",
+        machine.name()
+    );
+    println!(
+        "{:<10} {:<16} {:>14} {:>14}",
+        "mapping", "routing", "latency (us)", "completion ms"
+    );
+    for (mname, mapping) in &mappings {
+        for (rname, routing) in [
+            ("deterministic", RoutingMode::Deterministic),
+            ("min-adaptive", RoutingMode::MinimalAdaptive),
+        ] {
+            let mut cfg = NetworkConfig::default().with_bandwidth(300e6);
+            cfg.nic = NicModel::PerLink;
+            cfg.routing = routing;
+            cfg.link_speed_factors = degraded.clone();
+            let s = Simulation::run(&machine, &cfg, &tr, mapping);
+            println!(
+                "{:<10} {:<16} {:>14.2} {:>14.2}",
+                mname,
+                rname,
+                s.avg_latency_us(),
+                s.completion_ms()
+            );
+        }
+    }
+    println!(
+        "\nAdaptive routing steers around the sick router where an\n\
+         equal-length alternative exists; the topology-aware mapping\n\
+         shrinks the blast radius by keeping most traffic off long routes\n\
+         in the first place. The two compose."
+    );
+}

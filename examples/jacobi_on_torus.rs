@@ -1,0 +1,59 @@
+//! An iterative stencil solver on a bandwidth-constrained torus: how much
+//! wall-clock time does topology-aware mapping buy?
+//!
+//! Maps a 2D Jacobi application onto a 3D torus with three strategies and
+//! replays the same execution trace through the packet-level network
+//! simulator at several link bandwidths — the §5.3 methodology of the
+//! paper, at example scale.
+//!
+//! Run: `cargo run --release --example jacobi_on_torus`
+
+use topomap::netsim::{config::NicModel, trace};
+use topomap::prelude::*;
+
+fn main() {
+    let iterations = 100;
+    // 64 tasks, 2 KiB messages, 5 us of compute per iteration: enough
+    // compute to be realistic, little enough that the network dominates.
+    let tasks = topomap::taskgraph::gen::stencil2d(8, 8, 2.0 * 2048.0, false);
+    let machine = Torus::torus_3d(4, 4, 4);
+    let tr = trace::stencil_trace(&tasks, iterations, 5_000);
+    tr.check_matched().expect("trace is self-consistent");
+
+    let mappings = [
+        ("Random", RandomMap::new(7).map(&tasks, &machine)),
+        ("TopoCentLB", TopoCentLb.map(&tasks, &machine)),
+        ("TopoLB", TopoLb::default().map(&tasks, &machine)),
+    ];
+
+    println!(
+        "2D Jacobi, {} tasks, {iterations} iterations on {}\n",
+        tasks.num_tasks(),
+        machine.name()
+    );
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>12}",
+        "mapper", "bw MB/s", "latency us", "completion ms", "max link util"
+    );
+    for bw in [100.0e6, 300.0e6, 1000.0e6] {
+        let mut cfg = NetworkConfig::default().with_bandwidth(bw);
+        cfg.nic = NicModel::PerLink;
+        for (name, mapping) in &mappings {
+            let stats = Simulation::run(&machine, &cfg, &tr, mapping);
+            println!(
+                "{:<12} {:>10.0} {:>14.2} {:>14.2} {:>12.2}",
+                name,
+                bw / 1e6,
+                stats.avg_latency_us(),
+                stats.completion_ms(),
+                stats.max_link_utilization,
+            );
+        }
+        println!();
+    }
+    println!(
+        "At low bandwidth the random mapping's long routes saturate shared\n\
+         links and latency balloons; TopoLB's dilation-1 embedding keeps\n\
+         every message on one link and degrades gracefully."
+    );
+}

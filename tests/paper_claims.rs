@@ -1,0 +1,157 @@
+//! Integration tests encoding the paper's qualitative claims — the
+//! "shape" every experiment binary must reproduce, asserted at test scale.
+
+use topomap::prelude::*;
+use topomap::taskgraph::gen;
+use topomap::topology::stats;
+
+/// §5.2.1 / Figure 1: random placement of a 2D-mesh pattern on a 2D-torus
+/// costs ≈ √p/2 hops per byte.
+#[test]
+fn random_placement_matches_sqrt_p_over_2() {
+    for side in [8usize, 16] {
+        let p = side * side;
+        let tasks = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        let measured: f64 = (0..4)
+            .map(|s| hops_per_byte(&tasks, &topo, &RandomMap::new(s).map(&tasks, &topo)))
+            .sum::<f64>()
+            / 4.0;
+        let analytic = stats::expected_random_hops_torus_2d(p);
+        assert!(
+            (measured - analytic).abs() < 0.2 * analytic,
+            "p={p}: measured {measured}, analytic {analytic}"
+        );
+    }
+}
+
+/// §5.2.2 / Figure 3: on a 3D-torus the analytic value is 3·∛p/4.
+#[test]
+fn random_placement_matches_3d_formula() {
+    let tasks = gen::stencil2d(8, 8, 1024.0, false);
+    let topo = Torus::torus_3d(4, 4, 4);
+    let measured: f64 = (0..4)
+        .map(|s| hops_per_byte(&tasks, &topo, &RandomMap::new(s).map(&tasks, &topo)))
+        .sum::<f64>()
+        / 4.0;
+    let analytic = stats::expected_random_hops_torus_3d(64);
+    assert!(
+        (measured - analytic).abs() < 0.25 * analytic,
+        "measured {measured}, analytic {analytic}"
+    );
+}
+
+/// Figure 1/2: TopoLB maps the 2D-mesh onto the 2D-torus optimally
+/// ("TopoLB actually produces an optimal mapping in most cases").
+#[test]
+fn topolb_optimal_on_mesh_to_torus() {
+    for side in [8usize, 12, 16] {
+        let tasks = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        let hpb = hops_per_byte(&tasks, &topo, &TopoLb::default().map(&tasks, &topo));
+        assert!(hpb <= 1.05, "side {side}: hpb {hpb}");
+    }
+}
+
+/// Figure 4: the 8×8 mesh is a subgraph of the (4,4,4) torus, and TopoLB
+/// finds the dilation-1 embedding.
+#[test]
+fn topolb_embeds_mesh_in_3d_torus_at_64() {
+    let tasks = gen::stencil2d(8, 8, 1024.0, false);
+    let topo = Torus::torus_3d(4, 4, 4);
+    let m = TopoLb::default().map(&tasks, &topo);
+    assert_eq!(hops_per_byte(&tasks, &topo, &m), 1.0);
+}
+
+/// The paper's consistent ordering: TopoLB ≤ TopoCentLB (within noise) and
+/// both far below random, across workloads and topologies.
+#[test]
+fn strategy_ordering_holds_across_workloads() {
+    let workloads: Vec<(TaskGraph, Box<dyn Topology>)> = vec![
+        (
+            gen::stencil2d(8, 8, 1024.0, false),
+            Box::new(Torus::torus_2d(8, 8)) as Box<dyn Topology>,
+        ),
+        (
+            gen::stencil2d(8, 8, 1024.0, true),
+            Box::new(Torus::torus_3d(4, 4, 4)),
+        ),
+        (
+            gen::random_geometric(100, 0.18, 100.0, 2048.0, 5),
+            Box::new(Torus::torus_2d(10, 10)),
+        ),
+    ];
+    for (tasks, topo) in &workloads {
+        let lb = hops_per_byte(tasks, topo, &TopoLb::default().map(tasks, topo));
+        let cent = hops_per_byte(tasks, topo, &TopoCentLb.map(tasks, topo));
+        let rnd = hops_per_byte(tasks, topo, &RandomMap::new(1).map(tasks, topo));
+        assert!(lb < 0.7 * rnd, "TopoLB {lb} vs random {rnd}");
+        assert!(cent < 0.8 * rnd, "TopoCentLB {cent} vs random {rnd}");
+        assert!(lb <= 1.25 * cent, "TopoLB {lb} should not trail TopoCentLB {cent} badly");
+    }
+}
+
+/// §5.2.3: RefineTopoLB only ever improves, and typically squeezes a few
+/// percent out of TopoLB on LeanMD-like workloads.
+#[test]
+fn refine_improves_leanmd() {
+    let p = 36;
+    let tasks = gen::leanmd(p, &gen::LeanMdConfig { num_computes: 600, ..Default::default() });
+    let topo = Torus::torus_2d(6, 6);
+    let part = MultilevelKWay::default().partition(&tasks, p);
+    let groups = part.coalesce(&tasks);
+    let base = hops_per_byte(&groups, &topo, &TopoLb::default().map(&groups, &topo));
+    let refined = hops_per_byte(
+        &groups,
+        &topo,
+        &RefineTopoLb::new(TopoLb::default()).map(&groups, &topo),
+    );
+    assert!(refined <= base + 1e-12, "refine must not regress: {base} -> {refined}");
+}
+
+/// Table 1's premise, via the simulator: the same trace completes faster
+/// under the optimal mapping than under a random one, and the gap widens
+/// with message size.
+#[test]
+fn optimal_mapping_gap_grows_with_message_size() {
+    use topomap::netsim::{bluegene, trace};
+    let topo = bluegene::bluegene_machine(64, false);
+    let cfg = bluegene::bluegene_config();
+    let mut ratios = Vec::new();
+    for bytes in [1_000.0f64, 100_000.0] {
+        let tasks = gen::stencil3d(4, 4, 4, 2.0 * bytes, false);
+        let tr = trace::stencil_trace(&tasks, 10, 100_000);
+        let opt = Simulation::run(&topo, &cfg, &tr, &IdentityMap.map(&tasks, &topo));
+        let rnd = Simulation::run(&topo, &cfg, &tr, &RandomMap::new(2).map(&tasks, &topo));
+        ratios.push(rnd.completion_ns as f64 / opt.completion_ns as f64);
+    }
+    assert!(ratios[0] > 1.0, "random must be slower even at 1KB: {ratios:?}");
+    assert!(
+        ratios[1] > ratios[0],
+        "gap should grow with message size: {ratios:?}"
+    );
+}
+
+/// §5.4: removing wraparound links (torus → mesh) hurts, and hurts random
+/// placement more than TopoLB.
+#[test]
+fn mesh_hurts_random_more_than_topolb() {
+    let tasks = gen::stencil2d(8, 8, 1024.0, false);
+    let torus = Torus::torus_3d(4, 4, 4);
+    let mesh = Torus::mesh_3d(4, 4, 4);
+    let avg_rand = |topo: &Torus| -> f64 {
+        (0..4)
+            .map(|s| hops_per_byte(&tasks, topo, &RandomMap::new(s).map(&tasks, topo)))
+            .sum::<f64>()
+            / 4.0
+    };
+    let rnd_penalty = avg_rand(&mesh) - avg_rand(&torus);
+    let lb_t = hops_per_byte(&tasks, &torus, &TopoLb::default().map(&tasks, &torus));
+    let lb_m = hops_per_byte(&tasks, &mesh, &TopoLb::default().map(&tasks, &mesh));
+    let lb_penalty = lb_m - lb_t;
+    assert!(rnd_penalty > 0.0, "mesh should cost random placement extra hops");
+    assert!(
+        lb_penalty < rnd_penalty,
+        "TopoLB penalty {lb_penalty} should be below random penalty {rnd_penalty}"
+    );
+}
