@@ -2,7 +2,7 @@
 //! second-order (O(p·|Et|)) and third-order (O(p³)) schemes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use topomap_core::{EstimationOrder, Mapper, TopoLb};
+use topomap_core::{EstimationOrder, Mapper, Parallelism, TopoLb};
 use topomap_taskgraph::gen;
 use topomap_topology::Torus;
 
@@ -13,16 +13,44 @@ fn bench_orders(c: &mut Criterion) {
         let p = side * side;
         let tasks = gen::stencil2d(side, side, 1024.0, false);
         let topo = Torus::torus_2d(side, side);
-        for order in [EstimationOrder::First, EstimationOrder::Second, EstimationOrder::Third] {
+        for order in [
+            EstimationOrder::First,
+            EstimationOrder::Second,
+            EstimationOrder::Third,
+        ] {
+            group.bench_with_input(BenchmarkId::new(order.label(), p), &p, |b, _| {
+                b.iter(|| TopoLb::new(order).map(&tasks, &topo))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Thread-count scaling of the estimation loop itself, per order. The
+/// third-order scheme has the most parallel work per placement (a full
+/// machine-sized distance column), so it scales best when cores exist.
+fn bench_par_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_vs_serial");
+    group.sample_size(10);
+    let side = 16usize;
+    let tasks = gen::stencil2d(side, side, 1024.0, false);
+    let topo = Torus::torus_2d(side, side);
+    for order in [
+        EstimationOrder::First,
+        EstimationOrder::Second,
+        EstimationOrder::Third,
+    ] {
+        for threads in [1usize, 2, 4] {
+            let lb = TopoLb::with_parallelism(order, Parallelism::fixed(threads));
             group.bench_with_input(
-                BenchmarkId::new(order.label(), p),
-                &p,
-                |b, _| b.iter(|| TopoLb::new(order).map(&tasks, &topo)),
+                BenchmarkId::new(format!("{}-t{}", order.label(), threads), side * side),
+                &threads,
+                |b, _| b.iter(|| lb.map(&tasks, &topo)),
             );
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_orders);
+criterion_group!(benches, bench_orders, bench_par_vs_serial);
 criterion_main!(benches);

@@ -2,7 +2,10 @@
 //! TopoLB second order ≈ O(p²) in practice, TopoCentLB O(p·|Et|)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use topomap_core::{HierarchicalTopoLb, Mapper, RandomMap, RefineTopoLb, TopoCentLb, TopoLb};
+use topomap_core::{
+    metrics, EstimationOrder, HierarchicalTopoLb, Mapper, Mapping, Parallelism, RandomMap,
+    RefineTopoLb, TopoCentLb, TopoLb,
+};
 use topomap_taskgraph::gen;
 use topomap_topology::Torus;
 
@@ -35,5 +38,48 @@ fn bench_mappers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mappers);
+/// Thread-count scaling of the deterministic parallel layer. Results are
+/// bit-identical across rows (see `tests/parallel_equivalence.rs`); only
+/// wall-clock should move. On a single-core host the >1-thread rows just
+/// pay the fork-join overhead — the speedup needs real cores.
+fn bench_par_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_vs_serial");
+    group.sample_size(10);
+    let side = 24usize;
+    let tasks = gen::stencil2d(side, side, 1024.0, false);
+    let topo = Torus::torus_2d(side, side);
+    for threads in [1usize, 2, 4] {
+        let par = Parallelism::fixed(threads);
+        let lb = TopoLb::with_parallelism(EstimationOrder::Second, par);
+        group.bench_with_input(
+            BenchmarkId::new("TopoLB-second", threads),
+            &threads,
+            |b, _| b.iter(|| lb.map(&tasks, &topo)),
+        );
+        let refine = RefineTopoLb::with_parallelism(
+            TopoLb::with_parallelism(EstimationOrder::Second, par),
+            par,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("TopoLB+Refine", threads),
+            &threads,
+            |b, _| b.iter(|| refine.map(&tasks, &topo)),
+        );
+    }
+    // The batch metric API on a population-sized set of mappings.
+    let maps: Vec<Mapping> = (0..48)
+        .map(|s| RandomMap::new(s).map(&tasks, &topo))
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let par = Parallelism::fixed(threads);
+        group.bench_with_input(
+            BenchmarkId::new("hop_bytes_many", threads),
+            &threads,
+            |b, _| b.iter(|| metrics::hop_bytes_many(&tasks, &topo, &maps, par)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers, bench_par_vs_serial);
 criterion_main!(benches);

@@ -28,7 +28,11 @@ fn ablation_estimation_order(full: bool) {
         let tasks = gen::stencil2d(side, side, 1024.0, false);
         let topo = Torus::torus_2d(side, side);
         let mut cells = vec![p.to_string()];
-        for order in [EstimationOrder::First, EstimationOrder::Second, EstimationOrder::Third] {
+        for order in [
+            EstimationOrder::First,
+            EstimationOrder::Second,
+            EstimationOrder::Third,
+        ] {
             let t0 = Instant::now();
             let m = TopoLb::new(order).map(&tasks, &topo);
             let dt = t0.elapsed().as_secs_f64() * 1e3;
@@ -95,7 +99,13 @@ fn ablation_partitioner() {
     }
     print_table(
         "Ablation 3: phase-1 partitioner (LeanMD p=64, 2D-torus)",
-        &["partitioner", "cut (MB)", "imbalance", "hpb w/ TopoLB", "hpb w/ Random"],
+        &[
+            "partitioner",
+            "cut (MB)",
+            "imbalance",
+            "hpb w/ TopoLB",
+            "hpb w/ Random",
+        ],
         &rows,
     );
 }
@@ -115,17 +125,10 @@ fn ablation_topology_family() {
     for topo in &topos {
         let lb = metrics::hops_per_byte(&tasks, topo, &TopoLb::default().map(&tasks, topo));
         let rnd: f64 = (0..3)
-            .map(|s| {
-                metrics::hops_per_byte(&tasks, topo, &RandomMap::new(s).map(&tasks, topo))
-            })
+            .map(|s| metrics::hops_per_byte(&tasks, topo, &RandomMap::new(s).map(&tasks, topo)))
             .sum::<f64>()
             / 3.0;
-        rows.push(vec![
-            topo.name(),
-            f3(lb),
-            f2(rnd),
-            f2(rnd / lb),
-        ]);
+        rows.push(vec![topo.name(), f3(lb), f2(rnd), f2(rnd / lb)]);
     }
     print_table(
         "Ablation 4: gain of topology-aware mapping per network family (8x8 stencil)",
@@ -153,8 +156,16 @@ fn ablation_hierarchical(full: bool) {
         let t_hier = t0.elapsed().as_secs_f64() * 1e3;
         rows.push(vec![
             p.to_string(),
-            format!("{} ({:.1}ms)", f3(metrics::hops_per_byte(&tasks, &machine, &flat)), t_flat),
-            format!("{} ({:.1}ms)", f3(metrics::hops_per_byte(&tasks, &machine, &hier)), t_hier),
+            format!(
+                "{} ({:.1}ms)",
+                f3(metrics::hops_per_byte(&tasks, &machine, &flat)),
+                t_flat
+            ),
+            format!(
+                "{} ({:.1}ms)",
+                f3(metrics::hops_per_byte(&tasks, &machine, &hier)),
+                t_hier
+            ),
         ]);
     }
     print_table(

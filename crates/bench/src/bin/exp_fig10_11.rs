@@ -12,7 +12,7 @@
 
 use topomap_bench::{f2, full_mode, print_table};
 use topomap_core::{Mapper, Mapping, RandomMap, TopoCentLb, TopoLb};
-use topomap_netsim::{bluegene, trace, Simulation, SimStats};
+use topomap_netsim::{bluegene, trace, SimStats, Simulation};
 use topomap_taskgraph::{gen, TaskGraph};
 use topomap_topology::{torus::balanced_factors_2, Topology, Torus};
 
@@ -63,7 +63,11 @@ fn main() {
                 topo.name()
             );
         }
-        let (fig, net) = if torus { (10, "3D-Torus") } else { (11, "3D-Mesh") };
+        let (fig, net) = if torus {
+            (10, "3D-Torus")
+        } else {
+            (11, "3D-Mesh")
+        };
         print_table(
             &format!(
                 "Figure {fig}: time for {iterations} iterations of 2D-Jacobi (100KB msgs) on BlueGene {net} (s)"

@@ -32,9 +32,7 @@ fn main() {
 
         let seeds = 3;
         let rand_hpb: f64 = (0..seeds)
-            .map(|s| {
-                metrics::hops_per_byte(&tasks, &topo, &RandomMap::new(s).map(&tasks, &topo))
-            })
+            .map(|s| metrics::hops_per_byte(&tasks, &topo, &RandomMap::new(s).map(&tasks, &topo)))
             .sum::<f64>()
             / seeds as f64;
         let analytic = stats::expected_random_hops_torus_3d(p);
@@ -61,7 +59,14 @@ fn main() {
 
     print_table(
         "Figure 3: 2D-mesh pattern on 3D-torus — average hops per byte",
-        &["p", "mesh", "Random", "E[hops]=3*cbrt(p)/4", "TopoCentLB", "TopoLB"],
+        &[
+            "p",
+            "mesh",
+            "Random",
+            "E[hops]=3*cbrt(p)/4",
+            "TopoCentLB",
+            "TopoLB",
+        ],
         &rows,
     );
     print_table(

@@ -49,13 +49,23 @@ fn main() {
 
     print_table(
         "Figure 7: 2D-mesh on 64-node 3D-torus — average message latency (us)",
-        &["BW (100s of MB/s)", "Random (GreedyLB)", "TopoCentLB", "TopoLB"],
+        &[
+            "BW (100s of MB/s)",
+            "Random (GreedyLB)",
+            "TopoCentLB",
+            "TopoLB",
+        ],
         &rows,
     );
     let zoom: Vec<Vec<String>> = rows.iter().skip(3).cloned().collect();
     print_table(
         "Figure 8 (zoom): un-congested region (>= 400 MB/s)",
-        &["BW (100s of MB/s)", "Random (GreedyLB)", "TopoCentLB", "TopoLB"],
+        &[
+            "BW (100s of MB/s)",
+            "Random (GreedyLB)",
+            "TopoCentLB",
+            "TopoLB",
+        ],
         &zoom,
     );
 }

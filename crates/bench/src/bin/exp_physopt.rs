@@ -16,14 +16,17 @@
 use std::time::Instant;
 use topomap_bench::{f3, full_mode, print_table};
 use topomap_core::{
-    metrics, GeneticMap, Mapper, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb,
-    TopoLb,
+    metrics, GeneticMap, Mapper, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
 };
 use topomap_taskgraph::gen;
 use topomap_topology::{Topology, Torus};
 
 fn main() {
-    let sides: &[usize] = if full_mode() { &[8, 12, 16, 24] } else { &[8, 12, 16] };
+    let sides: &[usize] = if full_mode() {
+        &[8, 12, 16, 24]
+    } else {
+        &[8, 12, 16]
+    };
 
     for &side in sides {
         let p = side * side;

@@ -36,8 +36,7 @@ fn main() {
             let mut cells = vec![format!("{bw_100mb}"), mname.to_string()];
             let mut completions = Vec::new();
             for routing in [RoutingMode::Deterministic, RoutingMode::MinimalAdaptive] {
-                let mut cfg = NetworkConfig::default()
-                    .with_bandwidth(bw_100mb as f64 * 100.0e6);
+                let mut cfg = NetworkConfig::default().with_bandwidth(bw_100mb as f64 * 100.0e6);
                 cfg.nic = NicModel::PerLink;
                 cfg.routing = routing;
                 let s = Simulation::run(&topo, &cfg, &tr, mapping);

@@ -24,12 +24,12 @@ fn main() {
     ];
 
     let topo = bluegene::bluegene_machine(512, false); // 3D-mesh, as Table 1
-    // Calibration against the paper's absolute row heights: its optimal-
-    // mapping time at 1KB is ~235us/iteration, which on early BG/L is
-    // dominated by per-message MPI software overhead and the Jacobi
-    // compute, not by wire time. We model that with ~10us of sender
-    // overhead per message and ~150us of compute per iteration; the
-    // network parameters stay the BG/L link constants.
+                                                       // Calibration against the paper's absolute row heights: its optimal-
+                                                       // mapping time at 1KB is ~235us/iteration, which on early BG/L is
+                                                       // dominated by per-message MPI software overhead and the Jacobi
+                                                       // compute, not by wire time. We model that with ~10us of sender
+                                                       // overhead per message and ~150us of compute per iteration; the
+                                                       // network parameters stay the BG/L link constants.
     let mut cfg = bluegene::bluegene_config();
     cfg.send_overhead_ns = 10_000;
     let compute_ns = 150_000;
@@ -54,7 +54,12 @@ fn main() {
 
     print_table(
         &format!("Table 1: {iterations} iterations of 3D-Jacobi on 512-proc 3D-mesh (BG/L-like)"),
-        &["Message Size", "Random Mapping", "Optimal Mapping", "Random/Optimal"],
+        &[
+            "Message Size",
+            "Random Mapping",
+            "Optimal Mapping",
+            "Random/Optimal",
+        ],
         &rows,
     );
     println!(

@@ -13,7 +13,8 @@ topomap — topology-aware task mapping (IPDPS'06 reproduction)
 
 USAGE:
   topomap gen      --pattern SPEC [--bytes N] [--seed S] --out FILE
-  topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S] [--out FILE]
+  topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S]
+                   [--threads auto|N] [--out FILE]
   topomap eval     --topology SPEC --tasks FILE --mapping FILE
   topomap simulate --topology SPEC --tasks FILE --mapping FILE
                    [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
@@ -27,6 +28,8 @@ SPECS:
             | sweep2d:6x6 | tree:32 | random:N:AVGDEG
   mapper:   random | topolb | topolb-first | topolb-third | topocentlb
             | refine | identity | linear | anneal | genetic
+  threads:  worker threads for the mapper (auto = detect; results are
+            identical for every setting)
 ";
 
 /// On-disk mapping format.
@@ -71,7 +74,8 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
     let topo = specs::parse_topology(args.required("topology")?)?;
     let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
     let seed: u64 = args.parsed_or("seed", 0)?;
-    let mapper = specs::parse_mapper(args.required("mapper")?, seed)?;
+    let par = specs::parse_threads(args.optional("threads").unwrap_or("auto"))?;
+    let mapper = specs::parse_mapper(args.required("mapper")?, seed, par)?;
     let t = topo.as_topology();
     if tasks.num_tasks() > t.num_nodes() {
         return Err(format!(
@@ -139,7 +143,8 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let compute_ns: u64 = args.parsed_or("compute-ns", 5_000)?;
 
     let tr = trace::stencil_trace(&tasks, iterations, compute_ns);
-    tr.check_matched().map_err(|(a, b)| format!("trace mismatch between {a} and {b}"))?;
+    tr.check_matched()
+        .map_err(|(a, b)| format!("trace mismatch between {a} and {b}"))?;
     let cfg = NetworkConfig::default().with_bandwidth(bandwidth_mbps * 1e6);
     let s = Simulation::run(routed, &cfg, &tr, &mapping);
 
@@ -149,7 +154,11 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "bandwidth:          {bandwidth_mbps} MB/s");
     let _ = writeln!(out, "completion:         {:.3} ms", s.completion_ms());
     let _ = writeln!(out, "avg msg latency:    {:.2} us", s.avg_latency_us());
-    let _ = writeln!(out, "p99 msg latency:    {:.2} us", s.p99_latency_ns as f64 / 1e3);
+    let _ = writeln!(
+        out,
+        "p99 msg latency:    {:.2} us",
+        s.p99_latency_ns as f64 / 1e3
+    );
     let _ = writeln!(out, "avg hops:           {:.3}", s.avg_hops);
     let _ = writeln!(out, "network messages:   {}", s.network_messages);
     let _ = writeln!(out, "max link util:      {:.3}", s.max_link_utilization);
@@ -176,27 +185,49 @@ mod tests {
         let map_path = tmp("mapping.json");
 
         let out = cmd_gen(&args(&[
-            "--pattern", "stencil2d:4x4", "--bytes", "2048", "--out", &tasks_path,
+            "--pattern",
+            "stencil2d:4x4",
+            "--bytes",
+            "2048",
+            "--out",
+            &tasks_path,
         ]))
         .unwrap();
         assert!(out.contains("16 tasks"));
 
         let out = cmd_map(&args(&[
-            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapper", "topolb",
-            "--out", &map_path,
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--out",
+            &map_path,
         ]))
         .unwrap();
         assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
 
         let out = cmd_eval(&args(&[
-            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapping", &map_path,
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapping",
+            &map_path,
         ]))
         .unwrap();
         assert!(out.contains("max dilation:     1"), "{out}");
 
         let out = cmd_simulate(&args(&[
-            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapping", &map_path,
-            "--iterations", "5",
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapping",
+            &map_path,
+            "--iterations",
+            "5",
         ]))
         .unwrap();
         assert!(out.contains("completion:"), "{out}");
@@ -208,7 +239,12 @@ mod tests {
         let tasks_path = tmp("big.json");
         cmd_gen(&args(&["--pattern", "stencil2d:5x5", "--out", &tasks_path])).unwrap();
         let err = cmd_map(&args(&[
-            "--topology", "torus:4x4", "--tasks", &tasks_path, "--mapper", "topolb",
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
         ]))
         .unwrap_err();
         assert!(err.contains("partition"), "{err}");
@@ -220,12 +256,23 @@ mod tests {
         let map_path = tmp("ft-map.json");
         cmd_gen(&args(&["--pattern", "stencil2d:4x4", "--out", &tasks_path])).unwrap();
         cmd_map(&args(&[
-            "--topology", "fattree:4:2", "--tasks", &tasks_path, "--mapper", "topolb",
-            "--out", &map_path,
+            "--topology",
+            "fattree:4:2",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--out",
+            &map_path,
         ]))
         .unwrap();
         let err = cmd_simulate(&args(&[
-            "--topology", "fattree:4:2", "--tasks", &tasks_path, "--mapping", &map_path,
+            "--topology",
+            "fattree:4:2",
+            "--tasks",
+            &tasks_path,
+            "--mapping",
+            &map_path,
         ]))
         .unwrap_err();
         assert!(err.contains("metric-only"), "{err}");
@@ -237,16 +284,68 @@ mod tests {
         let map_path = tmp("ft2-map.json");
         cmd_gen(&args(&["--pattern", "ring:8", "--out", &tasks_path])).unwrap();
         cmd_map(&args(&[
-            "--topology", "fattree:2:3", "--tasks", &tasks_path, "--mapper", "topocentlb",
-            "--out", &map_path,
+            "--topology",
+            "fattree:2:3",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topocentlb",
+            "--out",
+            &map_path,
         ]))
         .unwrap();
         let out = cmd_eval(&args(&[
-            "--topology", "fattree:2:3", "--tasks", &tasks_path, "--mapping", &map_path,
+            "--topology",
+            "fattree:2:3",
+            "--tasks",
+            &tasks_path,
+            "--mapping",
+            &map_path,
         ]))
         .unwrap();
         assert!(out.contains("hops-per-byte"));
-        assert!(!out.contains("max link load"), "no link loads for metric-only");
+        assert!(
+            !out.contains("max link load"),
+            "no link loads for metric-only"
+        );
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_the_mapping() {
+        let tasks_path = tmp("thr-tasks.json");
+        cmd_gen(&args(&["--pattern", "stencil2d:4x4", "--out", &tasks_path])).unwrap();
+        let run = |threads: &str, path: &str| {
+            cmd_map(&args(&[
+                "--topology",
+                "torus:4x4",
+                "--tasks",
+                &tasks_path,
+                "--mapper",
+                "refine",
+                "--threads",
+                threads,
+                "--out",
+                path,
+            ]))
+            .unwrap();
+            std::fs::read_to_string(path).unwrap()
+        };
+        let serial = run("1", &tmp("thr-m1.json"));
+        let parallel = run("4", &tmp("thr-m4.json"));
+        assert_eq!(serial, parallel);
+
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--threads",
+            "zero",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("thread count"), "{err}");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic` |
 
 use topomap_core::{
-    EstimationOrder, GeneticMap, IdentityMap, LinearOrderMap, Mapper, RandomMap, RefineTopoLb,
-    SimulatedAnnealingMap, TopoCentLb, TopoLb,
+    EstimationOrder, GeneticMap, IdentityMap, LinearOrderMap, Mapper, Parallelism, RandomMap,
+    RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
 };
 use topomap_taskgraph::{gen, TaskGraph};
 use topomap_topology::{FatTree, GraphTopology, Hypercube, RoutedTopology, Topology, Torus};
@@ -17,7 +17,7 @@ use topomap_topology::{FatTree, GraphTopology, Hypercube, RoutedTopology, Topolo
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
     let dims = dims.map_err(|_| format!("bad dimension list '{s}'"))?;
-    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.contains(&0) {
         return Err(format!("bad dimension list '{s}'"));
     }
     Ok(dims)
@@ -57,19 +57,27 @@ pub fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
         "torus" => routed(Box::new(Torus::torus(&parse_dims(rest)?))),
         "mesh" => routed(Box::new(Torus::mesh(&parse_dims(rest)?))),
         "hypercube" => {
-            let d: u32 = rest.parse().map_err(|_| format!("bad hypercube dims '{rest}'"))?;
+            let d: u32 = rest
+                .parse()
+                .map_err(|_| format!("bad hypercube dims '{rest}'"))?;
             routed(Box::new(Hypercube::new(d)))
         }
         "ring" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad ring size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad ring size '{rest}'"))?;
             routed(Box::new(GraphTopology::ring(n)))
         }
         "star" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad star size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad star size '{rest}'"))?;
             routed(Box::new(GraphTopology::star(n)))
         }
         "crossbar" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad crossbar size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad crossbar size '{rest}'"))?;
             routed(Box::new(GraphTopology::complete(n)))
         }
         "fattree" => {
@@ -78,7 +86,9 @@ pub fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
                 .ok_or_else(|| format!("fattree spec is fattree:ARITY:LEVELS, got '{rest}'"))?;
             let arity: usize = a.parse().map_err(|_| "bad fattree arity".to_string())?;
             let levels: u32 = l.parse().map_err(|_| "bad fattree levels".to_string())?;
-            Ok(ParsedTopology::MetricOnly(Box::new(FatTree::new(arity, levels))))
+            Ok(ParsedTopology::MetricOnly(Box::new(FatTree::new(
+                arity, levels,
+            ))))
         }
         other => Err(format!(
             "unknown topology kind '{other}' (try torus/mesh/hypercube/ring/star/crossbar/fattree)"
@@ -96,36 +106,61 @@ pub fn parse_pattern(spec: &str, bytes: f64, seed: u64) -> Result<TaskGraph, Str
             if d.len() != 2 {
                 return Err(format!("{kind} needs WxH, got '{rest}'"));
             }
-            Ok(gen::stencil2d(d[0], d[1], 2.0 * bytes, kind == "pstencil2d"))
+            Ok(gen::stencil2d(
+                d[0],
+                d[1],
+                2.0 * bytes,
+                kind == "pstencil2d",
+            ))
         }
         "stencil3d" | "pstencil3d" => {
             let d = parse_dims(rest)?;
             if d.len() != 3 {
                 return Err(format!("{kind} needs XxYxZ, got '{rest}'"));
             }
-            Ok(gen::stencil3d(d[0], d[1], d[2], 2.0 * bytes, kind == "pstencil3d"))
+            Ok(gen::stencil3d(
+                d[0],
+                d[1],
+                d[2],
+                2.0 * bytes,
+                kind == "pstencil3d",
+            ))
         }
         "leanmd" => {
-            let p: usize = rest.parse().map_err(|_| format!("bad leanmd size '{rest}'"))?;
+            let p: usize = rest
+                .parse()
+                .map_err(|_| format!("bad leanmd size '{rest}'"))?;
             Ok(gen::leanmd(
                 p,
-                &gen::LeanMdConfig { coord_bytes: bytes, seed, ..Default::default() },
+                &gen::LeanMdConfig {
+                    coord_bytes: bytes,
+                    seed,
+                    ..Default::default()
+                },
             ))
         }
         "ring" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad ring size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad ring size '{rest}'"))?;
             Ok(gen::ring(n, bytes))
         }
         "all2all" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad all2all size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad all2all size '{rest}'"))?;
             Ok(gen::all_to_all(n, bytes))
         }
         "butterfly" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad butterfly size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad butterfly size '{rest}'"))?;
             Ok(gen::butterfly(n, bytes))
         }
         "transpose" => {
-            let s: usize = rest.parse().map_err(|_| format!("bad transpose side '{rest}'"))?;
+            let s: usize = rest
+                .parse()
+                .map_err(|_| format!("bad transpose side '{rest}'"))?;
             Ok(gen::transpose(s, bytes))
         }
         "sweep2d" => {
@@ -136,7 +171,9 @@ pub fn parse_pattern(spec: &str, bytes: f64, seed: u64) -> Result<TaskGraph, Str
             Ok(gen::sweep2d(d[0], d[1], bytes))
         }
         "tree" => {
-            let n: usize = rest.parse().map_err(|_| format!("bad tree size '{rest}'"))?;
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("bad tree size '{rest}'"))?;
             Ok(gen::reduction_tree(n, bytes))
         }
         "random" => {
@@ -151,19 +188,60 @@ pub fn parse_pattern(spec: &str, bytes: f64, seed: u64) -> Result<TaskGraph, Str
     }
 }
 
-/// Resolve a mapper spec.
-pub fn parse_mapper(spec: &str, seed: u64) -> Result<Box<dyn Mapper>, String> {
+/// Parse a `--threads` spec: `auto` (detect, overridable via the
+/// `TOPOMAP_THREADS` environment variable) or a fixed positive count.
+/// Every mapper produces the same result for every setting; threads only
+/// change how fast it is computed.
+pub fn parse_threads(spec: &str) -> Result<Parallelism, String> {
+    match spec {
+        "auto" => Ok(Parallelism::default()),
+        n => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("bad thread count '{n}' (want auto or N>=1)"))?;
+            if n == 0 {
+                return Err("bad thread count '0' (want auto or N>=1)".into());
+            }
+            Ok(Parallelism::fixed(n))
+        }
+    }
+}
+
+/// Resolve a mapper spec. `par` configures the deterministic parallel
+/// execution layer for the mappers that support it.
+pub fn parse_mapper(spec: &str, seed: u64, par: Parallelism) -> Result<Box<dyn Mapper>, String> {
     match spec {
         "random" => Ok(Box::new(RandomMap::new(seed))),
-        "topolb" => Ok(Box::new(TopoLb::default())),
-        "topolb-first" => Ok(Box::new(TopoLb::new(EstimationOrder::First))),
-        "topolb-third" => Ok(Box::new(TopoLb::new(EstimationOrder::Third))),
+        "topolb" => Ok(Box::new(TopoLb {
+            par,
+            ..TopoLb::default()
+        })),
+        "topolb-first" => Ok(Box::new(TopoLb::with_parallelism(
+            EstimationOrder::First,
+            par,
+        ))),
+        "topolb-third" => Ok(Box::new(TopoLb::with_parallelism(
+            EstimationOrder::Third,
+            par,
+        ))),
         "topocentlb" => Ok(Box::new(TopoCentLb)),
-        "refine" => Ok(Box::new(RefineTopoLb::new(TopoLb::default()))),
+        "refine" => Ok(Box::new(RefineTopoLb::with_parallelism(
+            TopoLb {
+                par,
+                ..TopoLb::default()
+            },
+            par,
+        ))),
         "identity" => Ok(Box::new(IdentityMap)),
         "linear" => Ok(Box::new(LinearOrderMap::bfs())),
-        "anneal" => Ok(Box::new(SimulatedAnnealingMap::new(seed))),
-        "genetic" => Ok(Box::new(GeneticMap::new(seed))),
+        "anneal" => Ok(Box::new(SimulatedAnnealingMap {
+            par,
+            ..SimulatedAnnealingMap::new(seed)
+        })),
+        "genetic" => Ok(Box::new(GeneticMap {
+            par,
+            ..GeneticMap::new(seed)
+        })),
         other => Err(format!(
             "unknown mapper '{other}' (try random/topolb/topolb-first/topolb-third/\
              topocentlb/refine/identity/linear/anneal/genetic)"
@@ -236,11 +314,32 @@ mod tests {
     #[test]
     fn mapper_specs_parse() {
         for spec in [
-            "random", "topolb", "topolb-first", "topolb-third", "topocentlb", "refine",
-            "identity", "linear", "anneal", "genetic",
+            "random",
+            "topolb",
+            "topolb-first",
+            "topolb-third",
+            "topocentlb",
+            "refine",
+            "identity",
+            "linear",
+            "anneal",
+            "genetic",
         ] {
-            assert!(parse_mapper(spec, 1).is_ok(), "{spec}");
+            assert!(
+                parse_mapper(spec, 1, Parallelism::default()).is_ok(),
+                "{spec}"
+            );
         }
-        assert!(parse_mapper("bogus", 1).is_err());
+        assert!(parse_mapper("bogus", 1, Parallelism::default()).is_err());
+    }
+
+    #[test]
+    fn threads_specs_parse() {
+        assert!(parse_threads("auto").is_ok());
+        assert!(parse_threads("1").is_ok());
+        assert!(parse_threads("8").is_ok());
+        for bad in ["0", "-1", "many", ""] {
+            assert!(parse_threads(bad).is_err(), "'{bad}' should fail");
+        }
     }
 }

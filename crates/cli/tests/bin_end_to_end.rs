@@ -26,27 +26,55 @@ fn full_workflow_through_the_binary() {
     let mapping = tmp("m.json");
 
     let (ok, out, err) = topomap(&[
-        "gen", "--pattern", "stencil2d:6x6", "--bytes", "2048", "--out", &tasks,
+        "gen",
+        "--pattern",
+        "stencil2d:6x6",
+        "--bytes",
+        "2048",
+        "--out",
+        &tasks,
     ]);
     assert!(ok, "gen failed: {err}");
     assert!(out.contains("36 tasks"), "{out}");
 
     let (ok, out, err) = topomap(&[
-        "map", "--topology", "torus:6x6", "--tasks", &tasks, "--mapper", "topolb",
-        "--out", &mapping,
+        "map",
+        "--topology",
+        "torus:6x6",
+        "--tasks",
+        &tasks,
+        "--mapper",
+        "topolb",
+        "--out",
+        &mapping,
     ]);
     assert!(ok, "map failed: {err}");
     assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
 
     let (ok, out, err) = topomap(&[
-        "eval", "--topology", "torus:6x6", "--tasks", &tasks, "--mapping", &mapping,
+        "eval",
+        "--topology",
+        "torus:6x6",
+        "--tasks",
+        &tasks,
+        "--mapping",
+        &mapping,
     ]);
     assert!(ok, "eval failed: {err}");
     assert!(out.contains("local fraction:   1.000"), "{out}");
 
     let (ok, out, err) = topomap(&[
-        "simulate", "--topology", "torus:6x6", "--tasks", &tasks, "--mapping", &mapping,
-        "--iterations", "3", "--bandwidth-mbps", "200",
+        "simulate",
+        "--topology",
+        "torus:6x6",
+        "--tasks",
+        &tasks,
+        "--mapping",
+        &mapping,
+        "--iterations",
+        "3",
+        "--bandwidth-mbps",
+        "200",
     ]);
     assert!(ok, "simulate failed: {err}");
     assert!(out.contains("network messages:   "), "{out}");

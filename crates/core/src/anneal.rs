@@ -15,6 +15,7 @@
 //! `exp_physopt` bench quantifies the paper's quality-vs-time trade-off
 //! against TopoLB.
 
+use crate::par::{Executor, Parallelism};
 use crate::refine::swap_delta;
 use crate::{metrics, Mapper, Mapping, RandomMap};
 use rand::rngs::StdRng;
@@ -23,6 +24,16 @@ use topomap_taskgraph::TaskGraph;
 use topomap_topology::Topology;
 
 /// Simulated-annealing mapper over hop-bytes.
+///
+/// Proposals and acceptance decisions draw from two *independent* RNG
+/// streams: one temperature step's worth of proposals is generated up
+/// front against the step's starting mapping, their deltas are evaluated
+/// in parallel against that frozen mapping, and the main thread then
+/// walks the batch in order — recomputing any delta whose tasks were
+/// dirtied by an earlier acceptance — drawing acceptance randomness as it
+/// goes. Splitting the streams is what makes the batch well-defined: the
+/// proposal sequence no longer depends on how many acceptance draws
+/// interleave, so the result is identical for every thread count.
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealingMap {
     /// RNG seed (deterministic per seed).
@@ -36,6 +47,9 @@ pub struct SimulatedAnnealingMap {
     pub cooling: f64,
     /// Stop once temperature falls below this fraction of the initial.
     pub min_temp_fraction: f64,
+    /// Thread configuration for the batched delta evaluation
+    /// (result-invariant).
+    pub par: Parallelism,
 }
 
 impl Default for SimulatedAnnealingMap {
@@ -46,13 +60,24 @@ impl Default for SimulatedAnnealingMap {
             initial_temp_factor: 2.0,
             cooling: 0.95,
             min_temp_fraction: 1e-3,
+            par: Parallelism::default(),
         }
     }
 }
 
+/// One proposed exchange, generated against the batch-start mapping.
+#[derive(Debug, Clone, Copy)]
+enum Proposal {
+    Swap(usize, usize),
+    Relocate(usize, usize),
+}
+
 impl SimulatedAnnealingMap {
     pub fn new(seed: u64) -> Self {
-        SimulatedAnnealingMap { seed, ..Default::default() }
+        SimulatedAnnealingMap {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A lighter configuration for tests and examples.
@@ -71,7 +96,11 @@ impl Mapper for SimulatedAnnealingMap {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Independent streams: proposals must not shift when acceptance
+        // draws are reordered by the batch walk (see the type docs).
+        let mut prop_rng = StdRng::seed_from_u64(self.seed);
+        let mut acc_rng = StdRng::seed_from_u64(self.seed ^ 0xACCE_0000);
+        let exec = Executor::new(self.par);
 
         // Seed from random placement (the classic SA setup; seeding from
         // TopoLB would conflate the comparison).
@@ -90,41 +119,91 @@ impl Mapper for SimulatedAnnealingMap {
         let mut temp = t0;
         let t_min = t0 * self.min_temp_fraction;
 
-        while temp > t_min {
-            for _ in 0..self.moves_per_temp {
-                let a = rng.gen_range(0..n);
-                // Candidate partner: another task (swap), or a free
-                // processor (move) when the machine has spare nodes.
-                let delta;
-                enum Move {
-                    Swap(usize),
-                    Relocate(usize),
-                }
-                let mv = if p > n && rng.gen_bool(0.25) {
-                    // Pick a random free processor by rejection sampling
-                    // (free fraction is at least (p-n)/p).
-                    let q = loop {
-                        let q = rng.gen_range(0..p);
-                        if m.task_on(q).is_none() {
-                            break q;
-                        }
-                    };
-                    delta = move_cost(tasks, topo, &m, a, q);
-                    Move::Relocate(q)
-                } else {
-                    let mut b = rng.gen_range(0..n);
-                    if b == a {
-                        b = (b + 1) % n;
-                    }
-                    delta = swap_delta(tasks, topo, &m, a, b);
-                    Move::Swap(b)
-                };
+        let wpi = 1 + 2 * tasks.num_edges() / n;
+        let mut dirty = vec![false; n];
+        let mark = |dirty: &mut Vec<bool>, t: usize| {
+            dirty[t] = true;
+            for (j, _) in tasks.neighbors(t) {
+                dirty[j] = true;
+            }
+        };
 
-                let accept = delta < 0.0 || rng.gen_bool((-delta / temp).exp().min(1.0));
+        while temp > t_min {
+            // Generate one temperature step's proposals against the
+            // batch-start mapping.
+            let proposals: Vec<Proposal> = (0..self.moves_per_temp)
+                .map(|_| {
+                    let a = prop_rng.gen_range(0..n);
+                    // Candidate partner: another task (swap), or a free
+                    // processor (move) when the machine has spare nodes.
+                    if p > n && prop_rng.gen_bool(0.25) {
+                        // Pick a random free processor by rejection
+                        // sampling (free fraction is at least (p-n)/p).
+                        let q = loop {
+                            let q = prop_rng.gen_range(0..p);
+                            if m.task_on(q).is_none() {
+                                break q;
+                            }
+                        };
+                        Proposal::Relocate(a, q)
+                    } else {
+                        let mut b = prop_rng.gen_range(0..n);
+                        if b == a {
+                            b = (b + 1) % n;
+                        }
+                        Proposal::Swap(a, b)
+                    }
+                })
+                .collect();
+
+            // Parallel delta evaluation against the frozen mapping; each
+            // proposal is scored by exactly one worker.
+            let frozen = &m;
+            let chunks = exec.map_chunks(proposals.len(), wpi, |range| {
+                range
+                    .map(|i| proposal_delta(tasks, topo, frozen, proposals[i]))
+                    .collect::<Vec<_>>()
+            });
+            let mut deltas = Vec::with_capacity(proposals.len());
+            for c in chunks {
+                deltas.extend(c);
+            }
+
+            // Serial walk: revalidate stale deltas, draw acceptance.
+            for (i, &prop) in proposals.iter().enumerate() {
+                let delta = match prop {
+                    Proposal::Swap(a, b) => {
+                        if dirty[a] || dirty[b] {
+                            swap_delta(tasks, topo, &m, a, b)
+                        } else {
+                            deltas[i]
+                        }
+                    }
+                    Proposal::Relocate(a, q) => {
+                        // An earlier acceptance may have filled q; the
+                        // proposal is then void (no acceptance draw).
+                        if m.task_on(q).is_some() {
+                            continue;
+                        }
+                        if dirty[a] {
+                            move_cost(tasks, topo, &m, a, q)
+                        } else {
+                            deltas[i]
+                        }
+                    }
+                };
+                let accept = delta < 0.0 || acc_rng.gen_bool((-delta / temp).exp().min(1.0));
                 if accept {
-                    match mv {
-                        Move::Swap(b) => m.swap_tasks(a, b),
-                        Move::Relocate(q) => m.move_task(a, q),
+                    match prop {
+                        Proposal::Swap(a, b) => {
+                            m.swap_tasks(a, b);
+                            mark(&mut dirty, a);
+                            mark(&mut dirty, b);
+                        }
+                        Proposal::Relocate(a, q) => {
+                            m.move_task(a, q);
+                            mark(&mut dirty, a);
+                        }
                     }
                     cur_hb += delta;
                     if cur_hb < best_hb {
@@ -133,6 +212,7 @@ impl Mapper for SimulatedAnnealingMap {
                     }
                 }
             }
+            dirty.fill(false);
             temp *= self.cooling;
         }
         best
@@ -140,6 +220,14 @@ impl Mapper for SimulatedAnnealingMap {
 
     fn name(&self) -> String {
         "SimAnneal".to_string()
+    }
+}
+
+/// Delta of a proposal against a frozen mapping.
+fn proposal_delta(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, p: Proposal) -> f64 {
+    match p {
+        Proposal::Swap(a, b) => swap_delta(tasks, topo, m, a, b),
+        Proposal::Relocate(a, q) => move_cost(tasks, topo, m, a, q),
     }
 }
 

@@ -22,6 +22,7 @@
 //! (`FSum`, giving `FAvg`) over free processors, exactly the bookkeeping
 //! the paper describes for its complexity bounds.
 
+use crate::par::{Executor, Parallelism};
 use topomap_taskgraph::{TaskGraph, TaskId};
 use topomap_topology::{stats::AvgDistTable, NodeId, Topology};
 
@@ -75,10 +76,45 @@ pub struct EstimationState<'a> {
     fsum: Vec<f64>,
     /// Placement of assigned tasks.
     placement: Vec<NodeId>,
+    /// Scratch mask over tasks: neighbors of the task being assigned.
+    nbr_mask: Vec<bool>,
+    /// Worker pool for the parallel scans (serial when 1 thread).
+    exec: Executor,
+}
+
+/// `FMin`/argmin/`FSum` of a task's fest over the free list, scanned in
+/// list order with the lowest-id tie-break.
+///
+/// Every stats computation — serial or inside a worker — goes through
+/// this one scan, and a task's scan is never split across workers, so
+/// the floating-point accumulation order (and hence the result) is
+/// independent of the thread count.
+fn scan_stats(free: &[NodeId], fest_t: impl Fn(NodeId) -> f64) -> (f64, NodeId, f64) {
+    let mut min = f64::INFINITY;
+    let mut argmin = usize::MAX;
+    let mut sum = 0.0;
+    for &q in free {
+        let f = fest_t(q);
+        sum += f;
+        if f < min || (f == min && q < argmin) {
+            min = f;
+            argmin = q;
+        }
+    }
+    (min, argmin, sum)
 }
 
 impl<'a> EstimationState<'a> {
     pub fn new(tasks: &'a TaskGraph, topo: &'a dyn Topology, order: EstimationOrder) -> Self {
+        Self::with_parallelism(tasks, topo, order, Parallelism::default())
+    }
+
+    pub fn with_parallelism(
+        tasks: &'a TaskGraph,
+        topo: &'a dyn Topology,
+        order: EstimationOrder,
+        par: Parallelism,
+    ) -> Self {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
@@ -104,9 +140,26 @@ impl<'a> EstimationState<'a> {
             fmin_proc: vec![0; n],
             fsum: vec![0.0; n],
             placement: vec![usize::MAX; n],
+            nbr_mask: vec![false; n],
+            exec: Executor::new(par),
         };
-        for t in 0..n {
-            s.recompute_task_stats(t);
+        let initial = {
+            let this = &s;
+            this.exec.map_chunks(n, p, |range| {
+                range
+                    .map(|t| {
+                        let (min, argmin, sum) = scan_stats(&this.free, |q| this.fest(t, q));
+                        (t, min, argmin, sum)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        for chunk in initial {
+            for (t, min, argmin, sum) in chunk {
+                s.fmin[t] = min;
+                s.fmin_proc[t] = argmin;
+                s.fsum[t] = sum;
+            }
         }
         s
     }
@@ -137,25 +190,6 @@ impl<'a> EstimationState<'a> {
         self.assigned_contrib[t * self.p + q] + self.unassigned_wgt[t] * self.unplaced_factor(q)
     }
 
-    /// Recompute `FMin`/`FSum` for task `t` by scanning the free list.
-    fn recompute_task_stats(&mut self, t: TaskId) {
-        let mut min = f64::INFINITY;
-        let mut argmin = usize::MAX;
-        let mut sum = 0.0;
-        for i in 0..self.free.len() {
-            let q = self.free[i];
-            let f = self.fest(t, q);
-            sum += f;
-            if f < min || (f == min && q < argmin) {
-                min = f;
-                argmin = q;
-            }
-        }
-        self.fmin[t] = min;
-        self.fmin_proc[t] = argmin;
-        self.fsum[t] = sum;
-    }
-
     /// Gain of placing `t` now: `FAvg(t) − FMin(t)` (Algorithm 1's
     /// criticality measure).
     #[inline]
@@ -168,12 +202,29 @@ impl<'a> EstimationState<'a> {
     }
 
     /// The unassigned task with maximum gain (ties → lowest id).
+    ///
+    /// Parallel: each worker scans a contiguous chunk of the unassigned
+    /// list; (gain desc, id asc) is a total order, so the argmax is the
+    /// same wherever the chunk boundaries fall — bit-identical to the
+    /// serial scan.
     pub fn select_task(&self) -> TaskId {
         debug_assert!(!self.unassigned.is_empty());
+        let parts = self.exec.map_chunks(self.unassigned.len(), 1, |range| {
+            let mut best_t = usize::MAX;
+            let mut best_gain = f64::NEG_INFINITY;
+            for i in range {
+                let t = self.unassigned[i];
+                let g = self.gain(t);
+                if g > best_gain || (g == best_gain && t < best_t) {
+                    best_gain = g;
+                    best_t = t;
+                }
+            }
+            (best_gain, best_t)
+        });
         let mut best_t = usize::MAX;
         let mut best_gain = f64::NEG_INFINITY;
-        for &t in &self.unassigned {
-            let g = self.gain(t);
+        for (g, t) in parts {
             if g > best_gain || (g == best_gain && t < best_t) {
                 best_gain = g;
                 best_t = t;
@@ -235,59 +286,129 @@ impl<'a> EstimationState<'a> {
             return;
         }
 
-        // Third order: the free-set average changes for every processor.
-        if self.order == EstimationOrder::Third {
-            for r in 0..self.p {
-                self.sum_free[r] -= self.topo.distance(r, q) as f64;
-            }
+        // Unplaced neighbors of t: their assigned contribution gains the
+        // c·d(·, q) term and their unassigned weight drops by c.
+        let nbrs: Vec<(TaskId, f64)> = self
+            .tasks
+            .neighbors(t)
+            .filter(|&(j, _)| self.placement[j] == usize::MAX)
+            .collect();
+        for &(j, c) in &nbrs {
+            self.unassigned_wgt[j] -= c;
+            self.nbr_mask[j] = true;
         }
 
-        // Neighbors of t: their assigned contribution gains the c·d(·, q)
-        // term and their unassigned weight drops by c.
-        for (j, c) in self.tasks.neighbors(t) {
-            if self.placement[j] != usize::MAX {
-                continue;
+        // Parallel region 1: the d(·, q) column. Third order needs it for
+        // the whole machine (the free-set average changes for every
+        // processor); orders one/two only over the free list, and only
+        // when some unplaced neighbor's row must absorb it. Each distance
+        // is written by exactly one worker, so the column is bit-identical
+        // however it is chunked.
+        let dist_q: Vec<f64> = if self.order == EstimationOrder::Third {
+            let col = self.dist_column(q, self.p, |r| r);
+            for (r, d) in col.iter().enumerate() {
+                self.sum_free[r] -= d;
             }
-            self.unassigned_wgt[j] -= c;
+            col
+        } else if nbrs.is_empty() {
+            Vec::new()
+        } else {
+            // Indexed by *position* in the free list.
+            let this = &*self;
+            this.dist_column(q, this.free.len(), |i| this.free[i])
+        };
+
+        for &(j, c) in &nbrs {
             let row = j * self.p;
             for i in 0..self.free.len() {
                 let r = self.free[i];
-                self.assigned_contrib[row + r] += c * self.topo.distance(r, q) as f64;
+                let d = if self.order == EstimationOrder::Third {
+                    dist_q[r]
+                } else {
+                    dist_q[i]
+                };
+                self.assigned_contrib[row + r] += c * d;
             }
         }
 
-        match self.order {
+        // Parallel region 2: per-free-processor fest recomputation, one
+        // worker chunk per slice of the unassigned list. A task's stats
+        // scan is never split (see `scan_stats`), and each worker's
+        // results land in disjoint rows, so the outcome matches the
+        // serial loop exactly.
+        let free_len = self.free.len();
+        let u_len = self.unassigned.len();
+        let updates = match self.order {
             EstimationOrder::Third => {
                 // Every fest value changed: recompute stats for all
                 // unassigned tasks (O(p²) per iteration, §4.4).
-                for i in 0..self.unassigned.len() {
-                    let u = self.unassigned[i];
-                    self.recompute_task_stats(u);
-                }
+                let this = &*self;
+                this.exec.map_chunks(u_len, free_len + 1, |range| {
+                    range
+                        .map(|i| {
+                            let u = this.unassigned[i];
+                            let (min, argmin, sum) = scan_stats(&this.free, |c| this.fest(u, c));
+                            (u, min, argmin, sum)
+                        })
+                        .collect::<Vec<_>>()
+                })
             }
             _ => {
                 // Neighbors changed everywhere: full recompute for them.
                 // Other tasks only lost processor q from the free set:
                 // subtract its fest from FSum; recompute FMin only if its
                 // argmin was q.
-                for i in 0..self.unassigned.len() {
-                    let u = self.unassigned[i];
-                    let is_neighbor = self.tasks.neighbors(t).any(|(j, _)| j == u);
-                    if is_neighbor {
-                        self.recompute_task_stats(u);
-                    } else {
+                let wpi = 4 + nbrs.len() * free_len / u_len.max(1);
+                let this = &*self;
+                this.exec.map_chunks(u_len, wpi, |range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    for i in range {
+                        let u = this.unassigned[i];
+                        if this.nbr_mask[u] {
+                            let (min, argmin, sum) = scan_stats(&this.free, |c| this.fest(u, c));
+                            out.push((u, min, argmin, sum));
+                            continue;
+                        }
                         // fest(u, q) with q now removed: reconstruct the
                         // value it had (assigned_contrib row still valid).
-                        let old = self.assigned_contrib[u * self.p + q]
-                            + self.unassigned_wgt[u] * self.unplaced_factor_for_removed(q);
-                        self.fsum[u] -= old;
-                        if self.fmin_proc[u] == q {
-                            self.recompute_task_stats(u);
+                        let old = this.assigned_contrib[u * this.p + q]
+                            + this.unassigned_wgt[u] * this.unplaced_factor_for_removed(q);
+                        let sum = this.fsum[u] - old;
+                        if this.fmin_proc[u] == q {
+                            let (min, argmin, s) = scan_stats(&this.free, |c| this.fest(u, c));
+                            out.push((u, min, argmin, s));
+                        } else {
+                            out.push((u, this.fmin[u], this.fmin_proc[u], sum));
                         }
                     }
-                }
+                    out
+                })
+            }
+        };
+        for chunk in updates {
+            for (u, min, argmin, sum) in chunk {
+                self.fmin[u] = min;
+                self.fmin_proc[u] = argmin;
+                self.fsum[u] = sum;
             }
         }
+        for &(j, _) in &nbrs {
+            self.nbr_mask[j] = false;
+        }
+    }
+
+    /// `d(idx(i), q)` for `i in 0..len`, computed in parallel chunks.
+    fn dist_column(&self, q: NodeId, len: usize, idx: impl Fn(usize) -> NodeId + Sync) -> Vec<f64> {
+        let chunks = self.exec.map_chunks(len, 4, |range| {
+            range
+                .map(|i| self.topo.distance(idx(i), q) as f64)
+                .collect::<Vec<_>>()
+        });
+        let mut col = Vec::with_capacity(len);
+        for c in chunks {
+            col.extend(c);
+        }
+        col
     }
 
     /// `unplaced_factor` as it applied *before* `q` was removed — for

@@ -11,7 +11,8 @@
 //! large compared to the execution time of the application" — not to be
 //! the production mapper.
 
-use crate::{Mapper, Mapping};
+use crate::par::{Executor, Parallelism};
+use crate::{metrics, Mapper, Mapping};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,11 @@ pub struct GeneticMap {
     pub mutation_swaps: f64,
     /// Individuals preserved unchanged each generation.
     pub elite: usize,
+    /// Thread configuration for the population fitness batches. Children
+    /// are generated serially (the RNG stream fixes the search), only
+    /// their fitness evaluation fans out, so any setting yields the same
+    /// mapping.
+    pub par: Parallelism,
 }
 
 impl Default for GeneticMap {
@@ -41,18 +47,27 @@ impl Default for GeneticMap {
             crossover_bias: 0.5,
             mutation_swaps: 2.0,
             elite: 4,
+            par: Parallelism::default(),
         }
     }
 }
 
 impl GeneticMap {
     pub fn new(seed: u64) -> Self {
-        GeneticMap { seed, ..Default::default() }
+        GeneticMap {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A lighter configuration for tests and examples.
     pub fn quick(seed: u64) -> Self {
-        GeneticMap { seed, population: 24, generations: 80, ..Default::default() }
+        GeneticMap {
+            seed,
+            population: 24,
+            generations: 80,
+            ..Default::default()
+        }
     }
 }
 
@@ -60,11 +75,22 @@ impl GeneticMap {
 /// holds the unused processors so crossover/mutation stay permutations.
 type Genome = Vec<usize>;
 
-fn fitness(tasks: &TaskGraph, topo: &dyn Topology, genome: &Genome) -> f64 {
-    tasks
-        .edges()
-        .map(|(a, b, c)| c * topo.distance(genome[a], genome[b]) as f64)
-        .sum()
+/// Hop-bytes of each genome, fanned out over the executor. Each genome's
+/// edge sum runs on a single worker in edge order, so the values match a
+/// per-genome serial evaluation exactly.
+fn batch_fitness(
+    exec: &Executor,
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    genomes: &[Genome],
+    n: usize,
+    p: usize,
+) -> Vec<f64> {
+    let maps: Vec<Mapping> = genomes
+        .iter()
+        .map(|g| Mapping::new(g[..n].to_vec(), p))
+        .collect();
+    metrics::hop_bytes_many_in(exec, tasks, topo, &maps)
 }
 
 /// Position-based crossover that preserves permutation validity: child
@@ -95,20 +121,26 @@ impl Mapper for GeneticMap {
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let exec = Executor::new(self.par);
 
         // Initial population of random permutations of all p processors.
-        let mut pop: Vec<(f64, Genome)> = (0..self.population.max(2))
+        let genomes: Vec<Genome> = (0..self.population.max(2))
             .map(|_| {
                 let mut g: Genome = (0..p).collect();
                 g.shuffle(&mut rng);
-                (fitness(tasks, topo, &g), g)
+                g
             })
             .collect();
+        let fits = batch_fitness(&exec, tasks, topo, &genomes, n, p);
+        let mut pop: Vec<(f64, Genome)> = fits.into_iter().zip(genomes).collect();
         pop.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
 
         for _gen in 0..self.generations {
             let mut next: Vec<(f64, Genome)> = pop[..self.elite.min(pop.len())].to_vec();
-            while next.len() < pop.len() {
+            // Breed serially (the RNG draw order defines the algorithm),
+            // then score the whole brood in one parallel batch.
+            let mut children: Vec<Genome> = Vec::with_capacity(pop.len() - next.len());
+            while next.len() + children.len() < pop.len() {
                 // Tournament selection (size 3).
                 let pick = |rng: &mut StdRng| -> usize {
                     (0..3).map(|_| rng.gen_range(0..pop.len())).min().unwrap()
@@ -122,9 +154,10 @@ impl Mapper for GeneticMap {
                     let j = rng.gen_range(0..p);
                     child.swap(i, j);
                 }
-                let f = fitness(tasks, topo, &child);
-                next.push((f, child));
+                children.push(child);
             }
+            let fits = batch_fitness(&exec, tasks, topo, &children, n, p);
+            next.extend(fits.into_iter().zip(children));
             next.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
             pop = next;
         }

@@ -55,15 +55,21 @@ impl HierarchicalTopoLb {
             "blocks_per_dim must match machine dimensionality"
         );
         for (d, (&n, &b)) in dims.iter().zip(&self.blocks_per_dim).enumerate() {
-            assert!(b >= 1 && n % b == 0, "dim {d}: {b} blocks must divide size {n}");
+            assert!(
+                b >= 1 && n % b == 0,
+                "dim {d}: {b} blocks must divide size {n}"
+            );
         }
         let p = machine.num_nodes();
         let n = tasks.num_tasks();
         assert!(n <= p, "need at least as many processors as tasks");
 
         let num_blocks: usize = self.blocks_per_dim.iter().product();
-        let block_dims: Vec<usize> =
-            dims.iter().zip(&self.blocks_per_dim).map(|(&n, &b)| n / b).collect();
+        let block_dims: Vec<usize> = dims
+            .iter()
+            .zip(&self.blocks_per_dim)
+            .map(|(&n, &b)| n / b)
+            .collect();
         let block_size: usize = block_dims.iter().product();
 
         // Degenerate split: fall back to flat TopoLB.
@@ -72,7 +78,11 @@ impl HierarchicalTopoLb {
         }
 
         // --- 1. one balanced group per block, sizes forced to fit ---
-        let mut assignment = self.partitioner.partition(tasks, num_blocks).assignment().to_vec();
+        let mut assignment = self
+            .partitioner
+            .partition(tasks, num_blocks)
+            .assignment()
+            .to_vec();
         enforce_capacities(tasks, &mut assignment, num_blocks, block_size);
 
         // --- 2. block-level mapping: group graph onto the block grid ---
@@ -86,8 +96,7 @@ impl HierarchicalTopoLb {
         let mut proc_of = vec![usize::MAX; n];
         let inner = TopoLb::default();
         for g in 0..num_blocks {
-            let members: Vec<TaskId> =
-                (0..n).filter(|&t| assignment[t] == g).collect();
+            let members: Vec<TaskId> = (0..n).filter(|&t| assignment[t] == g).collect();
             if members.is_empty() {
                 continue;
             }
@@ -177,10 +186,7 @@ fn enforce_capacities(
     for &g in assignment.iter() {
         sizes[g] += 1;
     }
-    loop {
-        let Some(over) = (0..num_groups).find(|&g| sizes[g] > capacity) else {
-            break;
-        };
+    while let Some(over) = (0..num_groups).find(|&g| sizes[g] > capacity) {
         // Receiving group: most under-full (ties -> lowest id).
         let under = (0..num_groups)
             .filter(|&g| sizes[g] < capacity)
@@ -245,7 +251,7 @@ mod tests {
         let machine = Torus::torus_2d(8, 8);
         let h = HierarchicalTopoLb::new(vec![2, 2]);
         let m = h.map_torus(&tasks, &machine);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for t in 0..64 {
             assert!(!seen[m.proc_of(t)]);
             seen[m.proc_of(t)] = true;
@@ -256,22 +262,19 @@ mod tests {
     fn close_to_flat_topolb_on_stencil() {
         let tasks = gen::stencil2d(8, 8, 1024.0, false);
         let machine = Torus::torus_2d(8, 8);
-        let flat = metrics::hops_per_byte(
-            &tasks,
-            &machine,
-            &TopoLb::default().map(&tasks, &machine),
-        );
+        let flat =
+            metrics::hops_per_byte(&tasks, &machine, &TopoLb::default().map(&tasks, &machine));
         let hier = metrics::hops_per_byte(
             &tasks,
             &machine,
             &HierarchicalTopoLb::new(vec![2, 2]).map_torus(&tasks, &machine),
         );
-        let rnd = metrics::hops_per_byte(
-            &tasks,
-            &machine,
-            &RandomMap::new(1).map(&tasks, &machine),
+        let rnd =
+            metrics::hops_per_byte(&tasks, &machine, &RandomMap::new(1).map(&tasks, &machine));
+        assert!(
+            hier < 0.65 * rnd,
+            "hierarchical {hier} must beat random {rnd}"
         );
-        assert!(hier < 0.65 * rnd, "hierarchical {hier} must beat random {rnd}");
         assert!(hier <= 2.5 * flat, "hierarchical {hier} vs flat {flat}");
     }
 
@@ -325,6 +328,9 @@ mod tests {
 
     #[test]
     fn name_reflects_blocking() {
-        assert_eq!(HierarchicalTopoLb::new(vec![2, 4]).name(), "HierTopoLB(2x4)");
+        assert_eq!(
+            HierarchicalTopoLb::new(vec![2, 4]).name(),
+            "HierTopoLB(2x4)"
+        );
     }
 }

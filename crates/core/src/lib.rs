@@ -50,6 +50,7 @@ pub mod hierarchy;
 pub mod linear;
 pub mod metrics;
 pub mod optimal;
+pub mod par;
 pub mod pipeline;
 pub mod random;
 pub mod refine;
@@ -62,6 +63,7 @@ pub use genetic::GeneticMap;
 pub use hierarchy::HierarchicalTopoLb;
 pub use linear::LinearOrderMap;
 pub use optimal::IdentityMap;
+pub use par::{Parallelism, Threads};
 pub use random::RandomMap;
 pub use refine::RefineTopoLb;
 pub use topocentlb::TopoCentLb;

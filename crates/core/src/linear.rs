@@ -37,7 +37,7 @@ pub fn snake_order(machine: &Torus) -> Vec<NodeId> {
         let mut actual = vec![0usize; dims.len()];
         let mut parity = 0usize;
         for d in 0..dims.len() {
-            actual[d] = if parity % 2 == 0 {
+            actual[d] = if parity.is_multiple_of(2) {
                 coords[d]
             } else {
                 dims[d] - 1 - coords[d]
@@ -102,13 +102,17 @@ pub struct LinearOrderMap {
 impl LinearOrderMap {
     /// Snake order over a torus/mesh machine.
     pub fn snake(machine: &Torus) -> Self {
-        LinearOrderMap { proc_order: snake_order(machine) }
+        LinearOrderMap {
+            proc_order: snake_order(machine),
+        }
     }
 
     /// Distance-sorted order from the topology center (works for any
     /// metric, including fat-trees).
     pub fn bfs() -> Self {
-        LinearOrderMap { proc_order: Vec::new() }
+        LinearOrderMap {
+            proc_order: Vec::new(),
+        }
     }
 
     fn effective_order(&self, topo: &dyn Topology) -> Vec<NodeId> {
@@ -158,7 +162,11 @@ mod tests {
 
     #[test]
     fn snake_order_is_a_hamiltonian_walk() {
-        for machine in [Torus::mesh_2d(4, 5), Torus::mesh_3d(3, 3, 3), Torus::torus_2d(4, 4)] {
+        for machine in [
+            Torus::mesh_2d(4, 5),
+            Torus::mesh_3d(3, 3, 3),
+            Torus::torus_2d(4, 4),
+        ] {
             let order = snake_order(&machine);
             assert_eq!(order.len(), machine.num_nodes());
             let mut seen = std::collections::HashSet::new();
@@ -189,11 +197,8 @@ mod tests {
         let h_rnd = metrics::hops_per_byte(&tasks, &machine, &rnd);
         assert!(h_lin < 0.75 * h_rnd, "linear {h_lin} vs random {h_rnd}");
         // ...but a 1-D arrangement of a 2-D pattern cannot reach TopoLB.
-        let h_lb = metrics::hops_per_byte(
-            &tasks,
-            &machine,
-            &TopoLb::default().map(&tasks, &machine),
-        );
+        let h_lb =
+            metrics::hops_per_byte(&tasks, &machine, &TopoLb::default().map(&tasks, &machine));
         assert!(h_lin >= h_lb);
     }
 
@@ -216,8 +221,7 @@ mod tests {
         assert_eq!(m.num_tasks(), 8);
         let rnd = RandomMap::new(2).map(&tasks, &ft);
         assert!(
-            metrics::hop_bytes(&tasks, &ft, &m)
-                <= metrics::hop_bytes(&tasks, &ft, &rnd) + 1e-9
+            metrics::hop_bytes(&tasks, &ft, &m) <= metrics::hop_bytes(&tasks, &ft, &rnd) + 1e-9
         );
     }
 

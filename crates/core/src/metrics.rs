@@ -8,6 +8,7 @@
 //! the total byte-load summed over all links, so reducing it reduces the
 //! *average* link load directly.
 
+use crate::par::{Executor, Parallelism};
 use crate::Mapping;
 use topomap_taskgraph::{TaskGraph, TaskId};
 use topomap_topology::{Link, RoutedTopology, Topology};
@@ -19,6 +20,41 @@ pub fn hop_bytes(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping) -> f64 {
         .edges()
         .map(|(a, b, c)| c * topo.distance(m.proc_of(a), m.proc_of(b)) as f64)
         .sum()
+}
+
+/// [`hop_bytes`] for a batch of mappings, evaluated in parallel — one
+/// mapping per work item, so every mapping's edge sum keeps the serial
+/// accumulation order and each result is bit-identical to a
+/// [`hop_bytes`] call. Used by the genetic mapper's population fitness
+/// and the bench drivers.
+pub fn hop_bytes_many(
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    maps: &[Mapping],
+    par: Parallelism,
+) -> Vec<f64> {
+    hop_bytes_many_in(&Executor::new(par), tasks, topo, maps)
+}
+
+/// [`hop_bytes_many`] on an existing executor (lets callers amortize the
+/// worker pool over many batches, e.g. one per GA generation).
+pub fn hop_bytes_many_in(
+    exec: &Executor,
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    maps: &[Mapping],
+) -> Vec<f64> {
+    let wpi = 1 + tasks.num_edges();
+    let chunks = exec.map_chunks(maps.len(), wpi, |range| {
+        range
+            .map(|i| hop_bytes(tasks, topo, &maps[i]))
+            .collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(maps.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
 }
 
 /// Hop-bytes contributed by a single task:
@@ -122,11 +158,7 @@ impl LinkLoads {
     /// Route every task-graph edge (both directions carry `c/2` bytes —
     /// edge weights are totals of the bidirectional exchange) and
     /// accumulate bytes per directed link.
-    pub fn compute<T: RoutedTopology + ?Sized>(
-        tasks: &TaskGraph,
-        topo: &T,
-        m: &Mapping,
-    ) -> Self {
+    pub fn compute<T: RoutedTopology + ?Sized>(tasks: &TaskGraph, topo: &T, m: &Mapping) -> Self {
         let links = topo.links();
         let index: std::collections::HashMap<Link, usize> =
             links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
@@ -224,7 +256,10 @@ mod tests {
         // A scrambled mapping (reverse) strictly increases HB for a stencil.
         let rev = Mapping::new((0..9).rev().collect(), 9);
         // Reversal of a mesh is an automorphism (180° rotation) — HB equal!
-        assert_eq!(hop_bytes(&tasks, &topo, &id), hop_bytes(&tasks, &topo, &rev));
+        assert_eq!(
+            hop_bytes(&tasks, &topo, &id),
+            hop_bytes(&tasks, &topo, &rev)
+        );
         // A genuinely scrambled mapping increases it.
         let scrambled = Mapping::new(vec![4, 7, 2, 8, 0, 5, 1, 6, 3], 9);
         assert!(hop_bytes(&tasks, &topo, &scrambled) > hop_bytes(&tasks, &topo, &id));

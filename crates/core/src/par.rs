@@ -1,0 +1,447 @@
+//! Deterministic multi-threaded execution layer.
+//!
+//! Every parallel kernel in this crate is a *chunked scan with an
+//! order-independent reduction*: the index space is split into contiguous
+//! chunks, each worker produces a partial result for its chunk, and the
+//! caller combines the partials **in chunk order** with the same
+//! lowest-id tie-break the serial code uses. Because the combining
+//! operators (argmin/argmax with id tie-break, disjoint writes,
+//! per-item sums that never split one item's floating-point accumulation
+//! across workers) are invariant to where the chunk boundaries fall, the
+//! result is bit-identical to the serial scan for *every* thread count.
+//! That is the determinism guarantee the serial-equivalence test suite
+//! pins down.
+//!
+//! [`Parallelism`] is the user-facing knob (thread count + a work
+//! threshold below which regions run serial); [`Executor`] owns the
+//! worker pool for one mapping run. The pool is a fork-join broadcaster:
+//! workers park on a condvar between regions, so idle threads cost
+//! nothing, and one pool amortizes thread spawns over the O(p) parallel
+//! regions of a placement loop.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Thread-count selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threads {
+    /// Use `TOPOMAP_THREADS` if set (0 or unset → all available cores).
+    Auto,
+    /// Use exactly this many threads (0 is clamped to 1).
+    Fixed(usize),
+}
+
+/// Parallelism configuration carried by every mapper.
+///
+/// `min_work` is an approximate count of elementary operations (distance
+/// evaluations, fest reads, gain compares) below which a region is not
+/// worth the fork-join handshake and runs on the calling thread. The
+/// serial fallback computes exactly the same result — see the module
+/// docs — so this is purely a performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    pub threads: Threads,
+    pub min_work: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            threads: Threads::Auto,
+            min_work: 4096,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Force serial execution.
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: Threads::Fixed(1),
+            ..Default::default()
+        }
+    }
+
+    /// Use exactly `n` threads (0 is clamped to 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism {
+            threads: Threads::Fixed(n),
+            ..Default::default()
+        }
+    }
+
+    /// The thread count this configuration resolves to on this machine.
+    pub fn resolved_threads(self) -> usize {
+        let n = match self.threads {
+            Threads::Fixed(n) => n,
+            Threads::Auto => env_threads().unwrap_or_else(available_threads),
+        };
+        n.clamp(1, MAX_THREADS)
+    }
+}
+
+/// Hard cap so a typo'd `TOPOMAP_THREADS` cannot fork-bomb the host.
+const MAX_THREADS: usize = 256;
+
+fn env_threads() -> Option<usize> {
+    let v = std::env::var("TOPOMAP_THREADS").ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The contiguous sub-range chunk `i` of `k` covers in `0..len`
+/// (balanced: the first `len % k` chunks get one extra item).
+fn chunk_range(len: usize, k: usize, i: usize) -> Range<usize> {
+    let base = len / k;
+    let rem = len % k;
+    let start = i * base + i.min(rem);
+    let end = start + base + usize::from(i < rem);
+    start..end
+}
+
+/// Per-run executor: a resolved thread count plus (for >1 thread) a
+/// parked worker pool.
+pub struct Executor {
+    threads: usize,
+    min_work: usize,
+    pool: Option<Pool>,
+}
+
+impl Executor {
+    pub fn new(par: Parallelism) -> Self {
+        let threads = par.resolved_threads();
+        let pool = (threads > 1).then(|| Pool::new(threads));
+        Executor {
+            threads,
+            min_work: par.min_work,
+            pool,
+        }
+    }
+
+    /// Resolved thread count (1 = everything runs on the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over `0..len` split into contiguous chunks and return the
+    /// per-chunk results in chunk order. Runs serially (a single chunk on
+    /// the calling thread) when the pool is absent or the region is below
+    /// the work threshold; callers must combine chunk results with a
+    /// chunking-invariant reduction so both paths agree bit-for-bit.
+    ///
+    /// `work_per_item` is the caller's estimate of elementary operations
+    /// per index, compared against `Parallelism::min_work`.
+    pub fn map_chunks<T, F>(&self, len: usize, work_per_item: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let pool = match &self.pool {
+            Some(pool) if len.saturating_mul(work_per_item) >= self.min_work && len > 1 => pool,
+            _ => return vec![f(0..len)],
+        };
+        let k = self.threads;
+        let mut out: Vec<Option<T>> = Vec::with_capacity(k);
+        out.resize_with(k, || None);
+        {
+            let slots = Slots(out.as_mut_ptr());
+            let f = &f;
+            pool.broadcast(&move |i: usize| {
+                let r = f(chunk_range(len, k, i));
+                // Sound: each worker index writes exactly one distinct slot,
+                // and broadcast() does not return until every worker is done.
+                unsafe { slots.set(i, r) };
+            });
+        }
+        out.into_iter().map(|r| r.expect("chunk result")).collect()
+    }
+}
+
+/// Raw slot pointer handed to workers; disjointness of indices makes the
+/// unsynchronized writes race-free. Accessed only through [`Slots::set`]
+/// so closures capture the whole wrapper (edition-2021 closures would
+/// otherwise capture the raw pointer field, which is not `Sync`).
+struct Slots<T>(*mut Option<T>);
+unsafe impl<T: Send> Send for Slots<T> {}
+unsafe impl<T: Send> Sync for Slots<T> {}
+impl<T> Slots<T> {
+    /// Safety: `i` must be in bounds and written by at most one thread
+    /// while the buffer outlives all writers.
+    unsafe fn set(&self, i: usize, v: T) {
+        *self.0.add(i) = Some(v);
+    }
+}
+
+/// One fork-join region's job: called once per worker with its index.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct PoolState {
+    /// Current job + generation counter; bumping the generation publishes
+    /// a new job to the workers.
+    job: Mutex<JobCell>,
+    work_cv: Condvar,
+    /// Count of workers finished with the current job.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+struct JobCell {
+    generation: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+/// Fork-join worker pool. The caller participates as worker 0, so a pool
+/// for `threads` threads spawns `threads - 1` OS threads.
+struct Pool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn new(threads: usize) -> Self {
+        debug_assert!(threads > 1);
+        let state = Arc::new(PoolState {
+            job: Mutex::new(JobCell {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("topomap-par-{index}"))
+                    .spawn(move || worker_loop(&state, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { state, handles }
+    }
+
+    /// Run `job(i)` once for every worker index `0..threads`, index 0 on
+    /// the calling thread. Returns only after all workers finished, which
+    /// is what makes the lifetime erasure below sound: the job reference
+    /// cannot dangle while any worker still holds it.
+    fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        let job: Job = unsafe { std::mem::transmute(job) };
+        *self.state.done.lock().unwrap() = 0;
+        {
+            let mut cell = self.state.job.lock().unwrap();
+            cell.generation += 1;
+            cell.job = Some(job);
+        }
+        self.state.work_cv.notify_all();
+
+        let mine = catch_unwind(AssertUnwindSafe(|| job(0)));
+
+        let workers = self.handles.len();
+        let mut done = self.state.done.lock().unwrap();
+        while *done != workers {
+            done = self.state.done_cv.wait(done).unwrap();
+        }
+        drop(done);
+
+        match mine {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if self.state.panicked.swap(false, Ordering::Relaxed) => {
+                panic!("topomap-par worker thread panicked");
+            }
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut cell = self.state.job.lock().unwrap();
+            cell.shutdown = true;
+        }
+        self.state.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut cell = state.job.lock().unwrap();
+            loop {
+                if cell.shutdown {
+                    return;
+                }
+                if cell.generation != seen {
+                    seen = cell.generation;
+                    break cell.job.expect("published job");
+                }
+                cell = state.work_cv.wait(cell).unwrap();
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(|| job(index))).is_err() {
+            state.panicked.store(true, Ordering::Relaxed);
+        }
+        let mut done = state.done.lock().unwrap();
+        *done += 1;
+        state.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_and_balance() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for k in [1usize, 2, 3, 8] {
+                let mut next = 0;
+                for i in 0..k {
+                    let r = chunk_range(len, k, i);
+                    assert_eq!(r.start, next, "len {len} k {k} chunk {i}");
+                    assert!(r.len() <= len / k + 1);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_clamps_and_defaults() {
+        assert_eq!(Parallelism::serial().resolved_threads(), 1);
+        assert_eq!(Parallelism::fixed(0).resolved_threads(), 1);
+        assert_eq!(Parallelism::fixed(3).resolved_threads(), 3);
+        assert_eq!(
+            Parallelism::fixed(usize::MAX).resolved_threads(),
+            MAX_THREADS
+        );
+        assert!(Parallelism::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_matches_serial_sum() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let serial: u64 = data.iter().sum();
+        for threads in [1usize, 2, 5, 8] {
+            let mut par = Parallelism::fixed(threads);
+            par.min_work = 0;
+            let exec = Executor::new(par);
+            let chunks = exec.map_chunks(data.len(), 1, |r| data[r].iter().sum::<u64>());
+            assert_eq!(
+                chunks.len(),
+                if threads == 1 { 1 } else { threads },
+                "{threads} threads"
+            );
+            assert_eq!(chunks.into_iter().sum::<u64>(), serial);
+        }
+    }
+
+    #[test]
+    fn argmin_reduction_is_chunking_invariant() {
+        // The canonical reduction shape used by the estimation kernels:
+        // (value, id) argmin with lowest-id tie-break.
+        let vals: Vec<u64> = (0..5000)
+            .map(|i: u64| i.wrapping_mul(2654435761) % 97)
+            .collect();
+        let serial = vals
+            .iter()
+            .enumerate()
+            .fold((u64::MAX, usize::MAX), |(bv, bi), (i, &v)| {
+                if v < bv || (v == bv && i < bi) {
+                    (v, i)
+                } else {
+                    (bv, bi)
+                }
+            });
+        for threads in [2usize, 3, 8] {
+            let mut par = Parallelism::fixed(threads);
+            par.min_work = 0;
+            let exec = Executor::new(par);
+            let partials = exec.map_chunks(vals.len(), 1, |r| {
+                r.fold((u64::MAX, usize::MAX), |(bv, bi), i| {
+                    if vals[i] < bv || (vals[i] == bv && i < bi) {
+                        (vals[i], i)
+                    } else {
+                        (bv, bi)
+                    }
+                })
+            });
+            let combined = partials
+                .into_iter()
+                .fold((u64::MAX, usize::MAX), |(bv, bi), (v, i)| {
+                    if v < bv || (v == bv && i < bi) {
+                        (v, i)
+                    } else {
+                        (bv, bi)
+                    }
+                });
+            assert_eq!(combined, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn below_threshold_runs_single_chunk() {
+        let exec = Executor::new(Parallelism::fixed(4)); // default min_work
+        let chunks = exec.map_chunks(8, 1, |r| r.len());
+        assert_eq!(chunks, vec![8]);
+    }
+
+    #[test]
+    fn pool_survives_many_regions() {
+        let mut par = Parallelism::fixed(4);
+        par.min_work = 0;
+        let exec = Executor::new(par);
+        for round in 0..200usize {
+            let total: usize = exec
+                .map_chunks(97, 1, |r| r.map(|i| i * round).sum::<usize>())
+                .into_iter()
+                .sum();
+            assert_eq!(total, (0..97).map(|i| i * round).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let mut par = Parallelism::fixed(2);
+        par.min_work = 0;
+        let exec = Executor::new(par);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.map_chunks(100, 1, |r| {
+                // The second chunk runs on the spawned worker.
+                assert!(r.start == 0, "boom");
+                0usize
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable for the next region.
+        let ok: usize = exec.map_chunks(10, 1, |r| r.len()).into_iter().sum();
+        assert_eq!(ok, 10);
+    }
+
+    #[test]
+    fn env_override_is_read() {
+        // Only checks the parse helper, not the process env, to stay
+        // hermetic under parallel test execution.
+        assert_eq!("8".trim().parse::<usize>().ok(), Some(8));
+        assert!(env_threads().is_none_or(|n| n >= 1));
+    }
+}

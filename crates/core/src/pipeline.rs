@@ -87,7 +87,12 @@ mod tests {
     fn pipeline_covers_all_tasks() {
         let tasks = gen::stencil2d(12, 12, 100.0, false); // 144 tasks
         let topo = Torus::torus_2d(4, 4); // 16 procs
-        let r = two_phase(&tasks, &topo, &MultilevelKWay::default(), &TopoLb::default());
+        let r = two_phase(
+            &tasks,
+            &topo,
+            &MultilevelKWay::default(),
+            &TopoLb::default(),
+        );
         assert_eq!(r.partition.num_parts(), 16);
         assert_eq!(r.group_graph.num_tasks(), 16);
         let placement = r.task_placement();
@@ -99,7 +104,12 @@ mod tests {
     fn equal_sizes_skip_partitioning() {
         let tasks = gen::stencil2d(4, 4, 1.0, false);
         let topo = Torus::torus_2d(4, 4);
-        let r = two_phase(&tasks, &topo, &MultilevelKWay::default(), &TopoLb::default());
+        let r = two_phase(
+            &tasks,
+            &topo,
+            &MultilevelKWay::default(),
+            &TopoLb::default(),
+        );
         // Singleton groups preserve the graph exactly.
         assert_eq!(r.group_graph.num_edges(), tasks.num_edges());
         assert_eq!(r.group_graph.total_comm(), tasks.total_comm());
@@ -119,7 +129,12 @@ mod tests {
     fn group_loads_balanced() {
         let tasks = gen::stencil2d(16, 16, 1.0, false);
         let topo = Torus::torus_2d(4, 4);
-        let r = two_phase(&tasks, &topo, &MultilevelKWay::default(), &TopoLb::default());
+        let r = two_phase(
+            &tasks,
+            &topo,
+            &MultilevelKWay::default(),
+            &TopoLb::default(),
+        );
         let imb = r.partition.imbalance_for(&tasks);
         assert!(imb <= 1.35, "group imbalance {imb}");
     }

@@ -13,7 +13,7 @@ use topomap_taskgraph::TaskGraph;
 use topomap_topology::Topology;
 
 /// Uniform-random injective placement (seeded, deterministic per seed).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RandomMap {
     pub seed: u64,
 }
@@ -21,12 +21,6 @@ pub struct RandomMap {
 impl RandomMap {
     pub fn new(seed: u64) -> Self {
         RandomMap { seed }
-    }
-}
-
-impl Default for RandomMap {
-    fn default() -> Self {
-        RandomMap { seed: 0 }
     }
 }
 

@@ -10,7 +10,17 @@
 //! improving exchanges, until a full sweep finds no improvement or the
 //! pass limit is hit. Swap gains are evaluated incrementally in O(δ(a) +
 //! δ(b)) from the hop-byte definition, so a sweep costs O(p²·δ̄).
+//!
+//! The sweep parallelizes by *windowed speculation*: workers evaluate a
+//! window of candidates in the exact serial enumeration order against
+//! the current (frozen) mapping, the main thread applies the first
+//! improving candidate and restarts the window just past it. Candidates
+//! before the first improvement are exactly those the serial sweep would
+//! have evaluated under the same mapping and rejected, so the accepted
+//! exchange sequence — and the final mapping — is bit-identical to the
+//! serial sweep for every thread count.
 
+use crate::par::{Executor, Parallelism};
 use crate::{Mapper, Mapping};
 use topomap_taskgraph::{TaskGraph, TaskId};
 use topomap_topology::Topology;
@@ -20,15 +30,33 @@ pub struct RefineTopoLb<M> {
     inner: M,
     /// Maximum full sweeps (each sweep is O(p²) pair evaluations).
     pub max_passes: usize,
+    /// Thread configuration for the candidate scans (result-invariant).
+    pub par: Parallelism,
 }
 
 impl<M: Mapper> RefineTopoLb<M> {
     pub fn new(inner: M) -> Self {
-        RefineTopoLb { inner, max_passes: 8 }
+        RefineTopoLb {
+            inner,
+            max_passes: 8,
+            par: Parallelism::default(),
+        }
     }
 
     pub fn with_passes(inner: M, max_passes: usize) -> Self {
-        RefineTopoLb { inner, max_passes }
+        RefineTopoLb {
+            inner,
+            max_passes,
+            par: Parallelism::default(),
+        }
+    }
+
+    pub fn with_parallelism(inner: M, par: Parallelism) -> Self {
+        RefineTopoLb {
+            inner,
+            max_passes: 8,
+            par,
+        }
     }
 }
 
@@ -71,37 +99,135 @@ fn move_delta(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, t: TaskId, q:
     delta
 }
 
+/// A sweep candidate in serial enumeration order: for each task `a`, all
+/// swaps `(a, b)` with `b > a`, then (when `p > n`) all moves `(a, q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Candidate {
+    Swap(TaskId, TaskId),
+    Move(TaskId, usize),
+}
+
+/// Bijection between flat candidate indices and candidates. `seg` is the
+/// number of candidates per leading task `a`: `(n - 1 - a)` swaps plus
+/// (if `p > n`) `p` move targets.
+struct Candidates {
+    n: usize,
+    moves: bool,
+    /// `offsets[a]` = flat index of task `a`'s first candidate.
+    offsets: Vec<usize>,
+}
+
+impl Candidates {
+    fn new(n: usize, p: usize) -> Self {
+        let moves = p > n;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for a in 0..n {
+            offsets.push(acc);
+            acc += (n - 1 - a) + if moves { p } else { 0 };
+        }
+        offsets.push(acc);
+        Candidates { n, moves, offsets }
+    }
+
+    fn total(&self) -> usize {
+        self.offsets[self.n]
+    }
+
+    fn get(&self, idx: usize) -> Candidate {
+        // partition_point returns the first a with offsets[a] > idx; the
+        // candidate's leading task is the one before it.
+        let a = self.offsets.partition_point(|&o| o <= idx) - 1;
+        let within = idx - self.offsets[a];
+        let swaps = self.n - 1 - a;
+        if within < swaps {
+            Candidate::Swap(a, a + 1 + within)
+        } else {
+            debug_assert!(self.moves);
+            Candidate::Move(a, within - swaps)
+        }
+    }
+}
+
+/// Whether the serial sweep would accept `c` under the current mapping.
+fn improves(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, c: Candidate) -> bool {
+    match c {
+        Candidate::Swap(a, b) => swap_delta(tasks, topo, m, a, b) < -1e-12,
+        Candidate::Move(a, q) => {
+            m.task_on(q).is_none() && move_delta(tasks, topo, m, a, q) < -1e-12
+        }
+    }
+}
+
 /// Refine an existing mapping in place; returns the number of accepted
 /// exchanges. Exposed so the refiner can be applied to mappings from any
-/// source (e.g. replayed LB databases).
+/// source (e.g. replayed LB databases). Runs with the default
+/// [`Parallelism`]; the thread count never changes the result.
 pub fn refine_mapping(
     tasks: &TaskGraph,
     topo: &dyn Topology,
     m: &mut Mapping,
     max_passes: usize,
 ) -> usize {
+    refine_mapping_with(tasks, topo, m, max_passes, Parallelism::default())
+}
+
+/// [`refine_mapping`] with an explicit thread configuration.
+pub fn refine_mapping_with(
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    m: &mut Mapping,
+    max_passes: usize,
+    par: Parallelism,
+) -> usize {
+    let exec = Executor::new(par);
     let n = tasks.num_tasks();
     let p = topo.num_nodes();
+    let cands = Candidates::new(n, p);
+    let total = cands.total();
+    // Candidate evaluation is O(δ̄); used for the serial-fallback check.
+    let wpi = 1 + 2 * tasks.num_edges() / n.max(1);
+    // Window sizing: small after an accepted exchange (the next
+    // improvement tends to be nearby, so speculation past it is wasted),
+    // growing while a region of the sweep yields nothing. Window sizes
+    // depend only on the accept/reject history, never on thread count.
+    let min_window = 64 * exec.threads().max(1);
+    let max_window = 4096 * exec.threads().max(1);
+
     let mut accepted = 0usize;
     for _ in 0..max_passes {
         let mut improved = false;
-        // Task-task swaps.
-        for a in 0..n {
-            for b in (a + 1)..n {
-                if swap_delta(tasks, topo, m, a, b) < -1e-12 {
-                    m.swap_tasks(a, b);
+        let mut cursor = 0usize;
+        let mut window = min_window;
+        while cursor < total {
+            let end = (cursor + window).min(total);
+            // First improving candidate in [cursor, end), if any: each
+            // worker takes its chunk's first hit, the min over chunks is
+            // the global first — independent of the chunking.
+            let frozen = &*m;
+            let hit = exec
+                .map_chunks(end - cursor, wpi, |range| {
+                    range
+                        .map(|i| cursor + i)
+                        .find(|&i| improves(tasks, topo, frozen, cands.get(i)))
+                })
+                .into_iter()
+                .flatten()
+                .min();
+            match hit {
+                Some(i) => {
+                    match cands.get(i) {
+                        Candidate::Swap(a, b) => m.swap_tasks(a, b),
+                        Candidate::Move(a, q) => m.move_task(a, q),
+                    }
                     accepted += 1;
                     improved = true;
+                    cursor = i + 1;
+                    window = min_window;
                 }
-            }
-            // Task -> free processor moves (only when p > n).
-            if p > n {
-                for q in 0..p {
-                    if m.task_on(q).is_none() && move_delta(tasks, topo, m, a, q) < -1e-12 {
-                        m.move_task(a, q);
-                        accepted += 1;
-                        improved = true;
-                    }
+                None => {
+                    cursor = end;
+                    window = (window * 2).min(max_window);
                 }
             }
         }
@@ -115,7 +241,7 @@ pub fn refine_mapping(
 impl<M: Mapper> Mapper for RefineTopoLb<M> {
     fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
         let mut m = self.inner.map(tasks, topo);
-        refine_mapping(tasks, topo, &mut m, self.max_passes);
+        refine_mapping_with(tasks, topo, &mut m, self.max_passes, self.par);
         m
     }
 
@@ -140,7 +266,10 @@ mod tests {
         let mut refined = base.clone();
         refine_mapping(&tasks, &topo, &mut refined, 8);
         let after = metrics::hop_bytes(&tasks, &topo, &refined);
-        assert!(after <= before + 1e-9, "refine must not worsen: {before} -> {after}");
+        assert!(
+            after <= before + 1e-9,
+            "refine must not worsen: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -176,8 +305,8 @@ mod tests {
                 let predicted = swap_delta(&tasks, &topo, &m, a, b);
                 let mut m2 = m.clone();
                 m2.swap_tasks(a, b);
-                let actual = metrics::hop_bytes(&tasks, &topo, &m2)
-                    - metrics::hop_bytes(&tasks, &topo, &m);
+                let actual =
+                    metrics::hop_bytes(&tasks, &topo, &m2) - metrics::hop_bytes(&tasks, &topo, &m);
                 assert!(
                     (predicted - actual).abs() < 1e-6,
                     "swap({a},{b}): predicted {predicted}, actual {actual}"
@@ -199,8 +328,8 @@ mod tests {
                 let predicted = move_delta(&tasks, &topo, &m, t, q);
                 let mut m2 = m.clone();
                 m2.move_task(t, q);
-                let actual = metrics::hop_bytes(&tasks, &topo, &m2)
-                    - metrics::hop_bytes(&tasks, &topo, &m);
+                let actual =
+                    metrics::hop_bytes(&tasks, &topo, &m2) - metrics::hop_bytes(&tasks, &topo, &m);
                 assert!((predicted - actual).abs() < 1e-6);
             }
         }

@@ -80,7 +80,10 @@ impl Mapper for TopoCentLb {
         free[center] = false;
         for (j, c) in tasks.neighbors(first) {
             comm_assigned[j] += c;
-            heap.push(Entry { key: comm_assigned[j], task: j });
+            heap.push(Entry {
+                key: comm_assigned[j],
+                task: j,
+            });
         }
 
         for _ in 1..n {
@@ -100,8 +103,8 @@ impl Mapper for TopoCentLb {
             // Place on the free processor minimizing first-order cost.
             let mut best_q = usize::MAX;
             let mut best_cost = f64::INFINITY;
-            for q in 0..p {
-                if !free[q] {
+            for (q, &q_free) in free.iter().enumerate() {
+                if !q_free {
                     continue;
                 }
                 let mut cost = 0.0;
@@ -121,7 +124,10 @@ impl Mapper for TopoCentLb {
             for (j, c) in tasks.neighbors(t) {
                 if !placed[j] {
                     comm_assigned[j] += c;
-                    heap.push(Entry { key: comm_assigned[j], task: j });
+                    heap.push(Entry {
+                        key: comm_assigned[j],
+                        task: j,
+                    });
                 }
             }
         }
@@ -145,7 +151,7 @@ mod tests {
         let tasks = gen::stencil2d(5, 5, 10.0, false);
         let topo = Torus::torus_2d(5, 5);
         let m = TopoCentLb.map(&tasks, &topo);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for t in 0..25 {
             assert!(!seen[m.proc_of(t)]);
             seen[m.proc_of(t)] = true;

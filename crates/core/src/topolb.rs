@@ -10,6 +10,7 @@
 //! critical.
 
 use crate::estimation::{EstimationOrder, EstimationState};
+use crate::par::Parallelism;
 use crate::{Mapper, Mapping};
 use topomap_taskgraph::TaskGraph;
 use topomap_topology::Topology;
@@ -20,19 +21,30 @@ use topomap_topology::Topology;
 /// production choice (second order, O(p·|Et|) total work). Third order is
 /// tighter but O(p³) — the paper keeps it for comparison, and so do we
 /// (see the `estimation_order` ablation bench).
+///
+/// `par` selects the thread count for the estimation scans; any setting
+/// produces the same mapping bit-for-bit (see [`crate::par`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TopoLb {
     pub order: EstimationOrder,
+    pub par: Parallelism,
 }
 
 impl TopoLb {
     pub fn new(order: EstimationOrder) -> Self {
-        TopoLb { order }
+        TopoLb {
+            order,
+            par: Parallelism::default(),
+        }
     }
 
     /// Second-order TopoLB (the paper's configuration).
     pub fn second_order() -> Self {
-        TopoLb { order: EstimationOrder::Second }
+        TopoLb::new(EstimationOrder::Second)
+    }
+
+    pub fn with_parallelism(order: EstimationOrder, par: Parallelism) -> Self {
+        TopoLb { order, par }
     }
 }
 
@@ -40,7 +52,7 @@ impl Mapper for TopoLb {
     fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
-        let mut state = EstimationState::new(tasks, topo, self.order);
+        let mut state = EstimationState::with_parallelism(tasks, topo, self.order, self.par);
         let mut proc_of = vec![usize::MAX; n];
         for _ in 0..n {
             let t = state.select_task();
@@ -71,7 +83,7 @@ mod tests {
         let tasks = gen::stencil2d(4, 4, 100.0, false);
         let topo = Torus::torus_2d(4, 4);
         let m = TopoLb::default().map(&tasks, &topo);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for t in 0..16 {
             let p = m.proc_of(t);
             assert!(!seen[p]);
@@ -113,7 +125,11 @@ mod tests {
     fn works_on_all_estimation_orders() {
         let tasks = gen::stencil2d(4, 4, 10.0, false);
         let topo = Torus::torus_2d(4, 4);
-        for order in [EstimationOrder::First, EstimationOrder::Second, EstimationOrder::Third] {
+        for order in [
+            EstimationOrder::First,
+            EstimationOrder::Second,
+            EstimationOrder::Third,
+        ] {
             let m = TopoLb::new(order).map(&tasks, &topo);
             let hpb = metrics::hops_per_byte(&tasks, &topo, &m);
             assert!(hpb >= 1.0, "hops-per-byte below the embedding bound?");
@@ -167,6 +183,9 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(TopoLb::default().name(), "TopoLB");
-        assert_eq!(TopoLb::new(EstimationOrder::Third).name(), "TopoLB(third-order)");
+        assert_eq!(
+            TopoLb::new(EstimationOrder::Third).name(),
+            "TopoLB(third-order)"
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct LbDatabase {
 impl LbDatabase {
     /// An empty database for `n` objects.
     pub fn new(n: usize) -> Self {
-        LbDatabase { loads: vec![0.0; n], comm: Vec::new() }
+        LbDatabase {
+            loads: vec![0.0; n],
+            comm: Vec::new(),
+        }
     }
 
     pub fn num_objects(&self) -> usize {
@@ -49,7 +52,12 @@ impl LbDatabase {
             r.bytes += bytes;
             r.messages += messages;
         } else {
-            self.comm.push(CommRecord { from, to, bytes, messages });
+            self.comm.push(CommRecord {
+                from,
+                to,
+                bytes,
+                messages,
+            });
         }
     }
 
@@ -88,8 +96,18 @@ impl LbDatabase {
         }
         for (a, b, w) in g.edges() {
             // Split the undirected total into two directed halves.
-            db.comm.push(CommRecord { from: a, to: b, bytes: w / 2.0, messages: 1 });
-            db.comm.push(CommRecord { from: b, to: a, bytes: w / 2.0, messages: 1 });
+            db.comm.push(CommRecord {
+                from: a,
+                to: b,
+                bytes: w / 2.0,
+                messages: 1,
+            });
+            db.comm.push(CommRecord {
+                from: b,
+                to: a,
+                bytes: w / 2.0,
+                messages: 1,
+            });
         }
         db
     }

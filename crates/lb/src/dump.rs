@@ -51,7 +51,10 @@ impl From<serde_json::Error> for DumpError {
 /// The file a given step is dumped to: `<base>.step<k>.json`
 /// (the Charm++ convention of one log file per step).
 pub fn step_path(base: &Path, step: usize) -> PathBuf {
-    let mut name = base.file_name().map(|s| s.to_os_string()).unwrap_or_default();
+    let mut name = base
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
     name.push(format!(".step{step}.json"));
     base.with_file_name(name)
 }

@@ -25,7 +25,10 @@ pub struct RefineLb {
 
 impl Default for RefineLb {
     fn default() -> Self {
-        RefineLb { tolerance: 1.05, max_migrations: usize::MAX }
+        RefineLb {
+            tolerance: 1.05,
+            max_migrations: usize::MAX,
+        }
     }
 }
 
@@ -120,7 +123,9 @@ impl RefineLb {
 
         let max_after = loads.iter().fold(0.0f64, |m, &l| m.max(l));
         RefineOutcome {
-            assignment: LbAssignment { proc_of_obj: proc_of },
+            assignment: LbAssignment {
+                proc_of_obj: proc_of,
+            },
             migrations,
             max_load_before: max_before,
             max_load_after: max_after,
@@ -149,7 +154,9 @@ mod tests {
         let topo = Torus::torus_2d(4, 4);
         // Pathological start: everything on processor 0... not allowed by
         // LbAssignment semantics? It is: assignments may colocate objects.
-        let current = LbAssignment { proc_of_obj: vec![0; 32] };
+        let current = LbAssignment {
+            proc_of_obj: vec![0; 32],
+        };
         let out = RefineLb::default().rebalance(&db, &topo, &current);
         assert!(out.max_load_after < 0.2 * out.max_load_before);
         assert!(out.migrations >= 16, "migrations {}", out.migrations);
@@ -164,7 +171,9 @@ mod tests {
             db.record_load(o, 1.0);
         }
         let topo = Torus::torus_2d(4, 4);
-        let current = LbAssignment { proc_of_obj: (0..16).collect() };
+        let current = LbAssignment {
+            proc_of_obj: (0..16).collect(),
+        };
         let out = RefineLb::default().rebalance(&db, &topo, &current);
         assert_eq!(out.migrations, 0);
         assert_eq!(out.assignment, current);
@@ -184,8 +193,11 @@ mod tests {
                 db.loads[o] *= 6.0;
             }
         }
-        let out = RefineLb { tolerance: 1.25, ..Default::default() }
-            .rebalance(&db, &topo, &base);
+        let out = RefineLb {
+            tolerance: 1.25,
+            ..Default::default()
+        }
+        .rebalance(&db, &topo, &base);
         assert!(out.max_load_after < out.max_load_before);
         let before = crate::replay::report(&db, &topo, "b", &base);
         let after = crate::replay::report(&db, &topo, "a", &out.assignment);
@@ -206,9 +218,14 @@ mod tests {
     fn respects_migration_cap() {
         let db = skewed_db(64);
         let topo = Torus::torus_2d(4, 4);
-        let current = LbAssignment { proc_of_obj: vec![0; 64] };
-        let out = RefineLb { max_migrations: 5, ..Default::default() }
-            .rebalance(&db, &topo, &current);
+        let current = LbAssignment {
+            proc_of_obj: vec![0; 64],
+        };
+        let out = RefineLb {
+            max_migrations: 5,
+            ..Default::default()
+        }
+        .rebalance(&db, &topo, &current);
         assert_eq!(out.migrations, 5);
     }
 }

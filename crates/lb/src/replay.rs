@@ -64,8 +64,16 @@ pub fn report(
         num_objects: db.num_objects(),
         num_procs: p,
         hop_bytes,
-        hops_per_byte: if total_bytes > 0.0 { hop_bytes / total_bytes } else { 0.0 },
-        load_imbalance: if avg_load > 0.0 { max_load / avg_load } else { 1.0 },
+        hops_per_byte: if total_bytes > 0.0 {
+            hop_bytes / total_bytes
+        } else {
+            0.0
+        },
+        load_imbalance: if avg_load > 0.0 {
+            max_load / avg_load
+        } else {
+            1.0
+        },
         max_proc_load: max_load,
     }
 }
@@ -78,7 +86,11 @@ pub fn simulate_step(
     topo: &dyn Topology,
     strategies: &[&dyn LbStrategy],
 ) -> Result<Vec<StrategyReport>, DumpError> {
-    let LbDump { num_procs, database, .. } = read_step(base, step)?;
+    let LbDump {
+        num_procs,
+        database,
+        ..
+    } = read_step(base, step)?;
     assert_eq!(
         num_procs,
         topo.num_nodes(),
@@ -118,7 +130,9 @@ mod tests {
         }
         let topo = Torus::mesh_1d(2);
         // All on processor 0.
-        let bad = LbAssignment { proc_of_obj: vec![0, 0, 0, 0] };
+        let bad = LbAssignment {
+            proc_of_obj: vec![0, 0, 0, 0],
+        };
         let r = report(&db, &topo, "manual", &bad);
         assert_eq!(r.max_proc_load, 8.0);
         assert_eq!(r.load_imbalance, 2.0); // 8 / (8/2)
@@ -130,15 +144,24 @@ mod tests {
         let dir = std::env::temp_dir().join("topomap-lb-replay-test");
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("leanmd");
-        let g = gen::leanmd(9, &gen::LeanMdConfig { num_computes: 120, ..Default::default() });
-        let dump = LbDump { step: 2, num_procs: 9, database: LbDatabase::from_task_graph(&g) };
+        let g = gen::leanmd(
+            9,
+            &gen::LeanMdConfig {
+                num_computes: 120,
+                ..Default::default()
+            },
+        );
+        let dump = LbDump {
+            step: 2,
+            num_procs: 9,
+            database: LbDatabase::from_task_graph(&g),
+        };
         write_step(&base, &dump).unwrap();
 
         let topo = Torus::torus_2d(3, 3);
         let topolb = strategy::by_name("TopoLB").unwrap();
         let greedy = strategy::by_name("GreedyLB").unwrap();
-        let reports =
-            simulate_step(&base, 2, &topo, &[topolb.as_ref(), greedy.as_ref()]).unwrap();
+        let reports = simulate_step(&base, 2, &topo, &[topolb.as_ref(), greedy.as_ref()]).unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].strategy, "TopoLB");
         // Same database, same scenario: comparable on equal footing.

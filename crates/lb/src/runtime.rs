@@ -174,7 +174,11 @@ impl Runtime {
                             my_loads[i] += t0.elapsed().as_secs_f64();
                             for &(to, bytes) in &specs[obj].sends {
                                 senders[assignment[to]]
-                                    .send(ObjMessage { from: obj, to, bytes })
+                                    .send(ObjMessage {
+                                        from: obj,
+                                        to,
+                                        bytes,
+                                    })
                                     .expect("worker inbox closed early");
                             }
                         }
@@ -229,8 +233,14 @@ mod tests {
         // Object 0 does ~200x the work of object 1: measured load must be
         // larger despite timer noise.
         let specs = vec![
-            ObjectSpec { work_units: 20_000, sends: vec![] },
-            ObjectSpec { work_units: 100, sends: vec![] },
+            ObjectSpec {
+                work_units: 20_000,
+                sends: vec![],
+            },
+            ObjectSpec {
+                work_units: 100,
+                sends: vec![],
+            },
         ];
         let rt = Runtime::new(specs, 2);
         let db = rt.run_instrumented(3);
@@ -248,7 +258,9 @@ mod tests {
         let g = gen::ring(6, 100.0);
         let mut rt = Runtime::from_task_graph(&g, 3, 1.0);
         assert_eq!(rt.objects_on(0), vec![0, 3]);
-        rt.migrate(&LbAssignment { proc_of_obj: vec![0, 0, 1, 1, 2, 2] });
+        rt.migrate(&LbAssignment {
+            proc_of_obj: vec![0, 0, 1, 1, 2, 2],
+        });
         assert_eq!(rt.objects_on(0), vec![0, 1]);
         assert_eq!(rt.objects_on(2), vec![4, 5]);
         // Still runs correctly after migration.

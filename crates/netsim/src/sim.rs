@@ -148,8 +148,11 @@ impl<'a> Engine<'a> {
             "mapping and topology disagree on processor count"
         );
         let links = topo.links();
-        let link_index: HashMap<Link, u32> =
-            links.iter().enumerate().map(|(i, &l)| (l, i as u32)).collect();
+        let link_index: HashMap<Link, u32> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
         let n_links = links.len();
         let mut link_speed = vec![1.0f64; n_links];
         for &(from, to, factor) in &cfg.link_speed_factors {
@@ -175,7 +178,9 @@ impl<'a> Engine<'a> {
             inject_free: vec![0; topo.num_nodes()],
             eject_free: vec![0; topo.num_nodes()],
             msgs: Vec::new(),
-            tasks: (0..trace.num_tasks()).map(|_| TaskState::default()).collect(),
+            tasks: (0..trace.num_tasks())
+                .map(|_| TaskState::default())
+                .collect(),
             nbr_buf: Vec::new(),
             latencies: Vec::new(),
             local_delivered: 0,
@@ -326,7 +331,10 @@ impl<'a> Engine<'a> {
             tail_ready: 0,
         });
         if ps == pd {
-            self.push(time + self.cfg.local_latency_ns, EventKind::Deliver { msg: id });
+            self.push(
+                time + self.cfg.local_latency_ns,
+                EventKind::Deliver { msg: id },
+            );
         } else {
             let start = match self.cfg.nic {
                 NicModel::SharedChannel => {
@@ -530,7 +538,9 @@ mod tests {
     fn compute_only_trace_uses_no_network() {
         let topo = Torus::mesh_1d(2);
         let m = Mapping::new(vec![0], 2);
-        let tr1 = Trace { programs: vec![vec![TraceOp::Compute { ns: 777 }]] };
+        let tr1 = Trace {
+            programs: vec![vec![TraceOp::Compute { ns: 777 }]],
+        };
         let s = Simulation::run(&topo, &cfg(), &tr1, &m);
         assert_eq!(s.network_messages, 0);
         assert_eq!(s.completion_ns, 777);
@@ -543,9 +553,18 @@ mod tests {
         let topo = Torus::mesh_1d(4);
         let tr = Trace {
             programs: vec![
-                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
-                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
-                vec![TraceOp::Send { to: 3, bytes: 10_000 }],
+                vec![TraceOp::Send {
+                    to: 3,
+                    bytes: 10_000,
+                }],
+                vec![TraceOp::Send {
+                    to: 3,
+                    bytes: 10_000,
+                }],
+                vec![TraceOp::Send {
+                    to: 3,
+                    bytes: 10_000,
+                }],
                 vec![
                     TraceOp::Recv { from: 0 },
                     TraceOp::Recv { from: 1 },
@@ -723,8 +742,14 @@ mod tests {
         let tr = Trace {
             programs: vec![
                 vec![
-                    TraceOp::Send { to: 1, bytes: 100_000 },
-                    TraceOp::Send { to: 1, bytes: 100_000 },
+                    TraceOp::Send {
+                        to: 1,
+                        bytes: 100_000,
+                    },
+                    TraceOp::Send {
+                        to: 1,
+                        bytes: 100_000,
+                    },
                 ],
                 vec![TraceOp::Recv { from: 0 }, TraceOp::Recv { from: 0 }],
                 vec![],

@@ -27,7 +27,10 @@ pub struct RecursiveBisection {
 
 impl Default for RecursiveBisection {
     fn default() -> Self {
-        RecursiveBisection { refine_passes: 4, seed: 0xB15EC7 }
+        RecursiveBisection {
+            refine_passes: 4,
+            seed: 0xB15EC7,
+        }
     }
 }
 
@@ -122,9 +125,7 @@ fn bisect(
         let (idx, &v) = frontier
             .iter()
             .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
-                conn[&a].partial_cmp(&conn[&b]).unwrap().then(b.cmp(&a))
-            })
+            .max_by(|(_, &a), (_, &b)| conn[&a].partial_cmp(&conn[&b]).unwrap().then(b.cmp(&a)))
             .expect("frontier non-empty");
         frontier.swap_remove(idx);
         if !unseen.remove(&v) {
@@ -172,8 +173,16 @@ fn bisect(
                 }
             }
             let w = g.vertex_weight(v);
-            let gain = if cur_left { to_right - to_left } else { to_left - to_right };
-            let new_left = if cur_left { left_load - w } else { left_load + w };
+            let gain = if cur_left {
+                to_right - to_left
+            } else {
+                to_left - to_right
+            };
+            let new_left = if cur_left {
+                left_load - w
+            } else {
+                left_load + w
+            };
             if gain > 0.0 && new_left >= lo && new_left <= hi {
                 side.insert(v, !cur_left);
                 left_load = new_left;
@@ -205,11 +214,7 @@ fn bisect(
 
 /// The member vertex farthest (in hops within the member-induced
 /// subgraph) from `start`; falls back to `start` for singletons.
-fn bfs_farthest(
-    g: &TaskGraph,
-    start: usize,
-    in_set: &std::collections::HashSet<usize>,
-) -> usize {
+fn bfs_farthest(g: &TaskGraph, start: usize, in_set: &std::collections::HashSet<usize>) -> usize {
     let mut dist = std::collections::HashMap::<usize, u32>::new();
     let mut queue = std::collections::VecDeque::new();
     dist.insert(start, 0);
@@ -252,7 +257,7 @@ mod tests {
         let sizes = p.part_sizes();
         assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
         // 63 tasks over 5 parts: sizes should be near 12-13.
-        assert!(sizes.iter().all(|&s| s >= 8 && s <= 18), "{sizes:?}");
+        assert!(sizes.iter().all(|&s| (8..=18).contains(&s)), "{sizes:?}");
     }
 
     #[test]

@@ -65,8 +65,18 @@ mod tests {
     fn lpt_quality_bound_on_skewed_loads() {
         // LPT guarantees makespan <= 4/3 OPT; check a generous bound.
         let mut b = topomap_taskgraph::TaskGraph::builder(10);
-        for (t, w) in [(0, 10.0), (1, 9.0), (2, 8.0), (3, 7.0), (4, 6.0),
-                       (5, 5.0), (6, 4.0), (7, 3.0), (8, 2.0), (9, 1.0)] {
+        for (t, w) in [
+            (0, 10.0),
+            (1, 9.0),
+            (2, 8.0),
+            (3, 7.0),
+            (4, 6.0),
+            (5, 5.0),
+            (6, 4.0),
+            (7, 3.0),
+            (8, 2.0),
+            (9, 1.0),
+        ] {
             b.set_task_weight(t, w);
         }
         let g = b.build();

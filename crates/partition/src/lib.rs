@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn edge_cut_counts_crossing_only() {
         let g = gen::ring(4, 10.0); // edges of weight 20 each
-        // Parts {0,1} {2,3}: edges 1-2 and 3-0 cross.
+                                    // Parts {0,1} {2,3}: edges 1-2 and 3-0 cross.
         let p = Partition::new(vec![0, 0, 1, 1], 2);
         assert_eq!(p.edge_cut(&g), 40.0);
         // All in one part: no cut.
@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn part_loads_use_graph_weights() {
         let mut b = topomap_taskgraph::TaskGraph::builder(3);
-        b.set_task_weight(0, 1.0).set_task_weight(1, 2.0).set_task_weight(2, 3.0);
+        b.set_task_weight(0, 1.0)
+            .set_task_weight(1, 2.0)
+            .set_task_weight(2, 3.0);
         let g = b.build();
         let p = Partition::new(vec![0, 1, 1], 2);
         assert_eq!(p.part_loads(&g), vec![1.0, 5.0]);

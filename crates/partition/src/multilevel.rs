@@ -100,7 +100,13 @@ impl Partitioner for MultilevelKWay {
                 fine_assignment[v] = assignment[map[v]];
             }
             assignment = fine_assignment;
-            refine(fine, &mut assignment, k, self.balance_tolerance, self.refine_passes);
+            refine(
+                fine,
+                &mut assignment,
+                k,
+                self.balance_tolerance,
+                self.refine_passes,
+            );
         }
 
         Partition::new(assignment, k)
@@ -240,9 +246,9 @@ fn greedy_graph_growing(g: &TaskGraph, k: usize, rng: &mut StdRng) -> Vec<usize>
         }
     }
     // Remainder goes to the last part.
-    for v in 0..n {
-        if assignment[v] == usize::MAX {
-            assignment[v] = k - 1;
+    for a in assignment.iter_mut().take(n) {
+        if *a == usize::MAX {
+            *a = k - 1;
         }
     }
     assignment
@@ -347,7 +353,11 @@ mod tests {
     fn balanced_on_uniform_stencil() {
         let g = gen::stencil2d(16, 16, 1024.0, false);
         let p = MultilevelKWay::default().partition(&g, 16);
-        assert!(p.imbalance_for(&g) <= 1.30, "imbalance {}", p.imbalance_for(&g));
+        assert!(
+            p.imbalance_for(&g) <= 1.30,
+            "imbalance {}",
+            p.imbalance_for(&g)
+        );
     }
 
     #[test]
@@ -387,7 +397,7 @@ mod tests {
         let g = gen::stencil2d(6, 6, 1.0, false);
         let mut rng = StdRng::seed_from_u64(1);
         let (map, cn) = heavy_edge_matching(&g, &mut rng);
-        assert!(cn <= 36 && cn >= 18);
+        assert!((18..=36).contains(&cn));
         // Each coarse vertex has 1 or 2 fine vertices.
         let mut counts = vec![0usize; cn];
         for &c in &map {

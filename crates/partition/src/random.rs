@@ -11,7 +11,7 @@ use topomap_taskgraph::TaskGraph;
 /// balanced (each group receives `⌈n/k⌉` or `⌊n/k⌋` tasks) — random in
 /// placement but not pathological in load, like scattering chares round-
 /// robin over a shuffled processor list.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RandomPartition {
     pub seed: u64,
 }
@@ -19,12 +19,6 @@ pub struct RandomPartition {
 impl RandomPartition {
     pub fn new(seed: u64) -> Self {
         RandomPartition { seed }
-    }
-}
-
-impl Default for RandomPartition {
-    fn default() -> Self {
-        RandomPartition { seed: 0 }
     }
 }
 

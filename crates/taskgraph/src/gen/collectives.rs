@@ -37,7 +37,10 @@ pub fn reduction_tree(n: usize, msg_bytes: f64) -> TaskGraph {
 ///
 /// [`Hypercube`]: ../../topomap_topology/struct.Hypercube.html
 pub fn butterfly(n: usize, msg_bytes: f64) -> TaskGraph {
-    assert!(n >= 2 && n.is_power_of_two(), "butterfly needs a power of two");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "butterfly needs a power of two"
+    );
     let mut b = TaskGraph::builder(n);
     let w = 2.0 * msg_bytes;
     let mut bit = 1usize;

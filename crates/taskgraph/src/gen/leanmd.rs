@@ -51,7 +51,7 @@ impl Default for LeanMdConfig {
             num_computes: 3240,
             coord_bytes: 2048.0,
             load_jitter: 0.2,
-            seed: 0x1ea_9d,
+            seed: 0x0001_ea9d,
         }
     }
 }
@@ -115,8 +115,8 @@ pub fn leanmd(p: usize, cfg: &LeanMdConfig) -> TaskGraph {
         .collect();
 
     // Cells do integration work proportional to their atoms.
-    for c in 0..p {
-        b.set_task_weight(c, scales[c]);
+    for (c, &s) in scales.iter().enumerate() {
+        b.set_task_weight(c, s);
     }
 
     // Distribute compute objects over the pairs round-robin with random
@@ -148,13 +148,13 @@ fn balanced3(p: usize) -> (usize, usize, usize) {
     let mut best_spread = p;
     let mut a = 1usize;
     while a * a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             let q = p / a;
             let mut bb = a;
             let mut bc = q;
             let mut x = (q as f64).sqrt() as usize + 1;
             while x >= 1 {
-                if q % x == 0 {
+                if q.is_multiple_of(x) {
                     bb = x.min(q / x);
                     bc = x.max(q / x);
                     break;
@@ -197,7 +197,7 @@ mod tests {
         let g = leanmd(p, &LeanMdConfig::default());
         for t in p..g.num_tasks() {
             let deg = g.degree(t);
-            assert!(deg >= 1 && deg <= 2, "compute {t} has degree {deg}");
+            assert!((1..=2).contains(&deg), "compute {t} has degree {deg}");
             for (nbr, _) in g.neighbors(t) {
                 assert!(nbr < p, "compute neighbor must be a cell");
             }

@@ -9,5 +9,5 @@ mod stencil;
 pub use collectives::{butterfly, reduction_tree, sweep2d, transpose};
 pub use leanmd::{leanmd, LeanMdConfig};
 pub use patterns::{all_to_all, ring};
-pub use random::{random_graph, random_geometric};
+pub use random::{random_geometric, random_graph};
 pub use stencil::{stencil2d, stencil3d, stencil_nd};

@@ -90,7 +90,10 @@ impl TaskGraph {
 
     /// Maximum degree over all tasks.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_tasks()).map(|t| self.degree(t)).max().unwrap_or(0)
+        (0..self.num_tasks())
+            .map(|t| self.degree(t))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors of `t` with edge weights (bytes).
@@ -140,8 +143,7 @@ impl TaskGraph {
         for g in 0..num_groups {
             b.set_task_weight(g, 0.0);
         }
-        for t in 0..self.num_tasks() {
-            let g = assignment[t];
+        for (t, &g) in assignment.iter().enumerate() {
             assert!(g < num_groups, "group id out of range");
             b.add_task_weight(g, self.vwgt[t]);
         }
@@ -181,8 +183,14 @@ impl TaskGraphBuilder {
     /// across calls). Self-communication is ignored — it never crosses the
     /// network.
     pub fn add_comm(&mut self, a: TaskId, b: TaskId, bytes: f64) -> &mut Self {
-        assert!(a < self.vwgt.len() && b < self.vwgt.len(), "task id out of range");
-        assert!(bytes >= 0.0 && bytes.is_finite(), "invalid byte count {bytes}");
+        assert!(
+            a < self.vwgt.len() && b < self.vwgt.len(),
+            "task id out of range"
+        );
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "invalid byte count {bytes}"
+        );
         if a != b && bytes > 0.0 {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             self.edges.push((lo as u32, hi as u32, bytes));
@@ -194,7 +202,7 @@ impl TaskGraphBuilder {
     pub fn build(&mut self) -> TaskGraph {
         let n = self.vwgt.len();
         // Merge duplicates.
-        self.edges.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        self.edges.sort_unstable_by_key(|x| (x.0, x.1));
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
         for &(a, b, w) in &self.edges {
             match merged.last_mut() {
@@ -270,7 +278,9 @@ mod tests {
     #[test]
     fn builder_merges_duplicates() {
         let mut b = TaskGraph::builder(3);
-        b.add_comm(0, 1, 10.0).add_comm(1, 0, 5.0).add_comm(1, 2, 7.0);
+        b.add_comm(0, 1, 10.0)
+            .add_comm(1, 0, 5.0)
+            .add_comm(1, 2, 7.0);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edge_weight(0, 1), Some(15.0));
@@ -291,7 +301,9 @@ mod tests {
     #[test]
     fn weighted_degree_sums_incident() {
         let mut b = TaskGraph::builder(4);
-        b.add_comm(0, 1, 1.0).add_comm(0, 2, 2.0).add_comm(0, 3, 3.0);
+        b.add_comm(0, 1, 1.0)
+            .add_comm(0, 2, 2.0)
+            .add_comm(0, 3, 3.0);
         let g = b.build();
         assert_eq!(g.weighted_degree(0), 6.0);
         assert_eq!(g.weighted_degree(3), 3.0);
@@ -302,7 +314,9 @@ mod tests {
     #[test]
     fn edges_iterate_each_once() {
         let mut b = TaskGraph::builder(3);
-        b.add_comm(0, 1, 1.0).add_comm(1, 2, 2.0).add_comm(0, 2, 3.0);
+        b.add_comm(0, 1, 1.0)
+            .add_comm(1, 2, 2.0)
+            .add_comm(0, 2, 3.0);
         let g = b.build();
         let es: Vec<_> = g.edges().collect();
         assert_eq!(es.len(), 3);
@@ -314,7 +328,9 @@ mod tests {
     #[test]
     fn vertex_weights() {
         let mut b = TaskGraph::builder(2);
-        b.set_task_weight(0, 2.5).add_task_weight(0, 0.5).set_task_weight(1, 4.0);
+        b.set_task_weight(0, 2.5)
+            .add_task_weight(0, 0.5)
+            .set_task_weight(1, 4.0);
         let g = b.build();
         assert_eq!(g.vertex_weight(0), 3.0);
         assert_eq!(g.total_vertex_weight(), 7.0);
@@ -324,7 +340,9 @@ mod tests {
     fn coalesce_sums_weights_and_drops_internal_edges() {
         // 4 tasks: 0-1 (10), 1-2 (20), 2-3 (30); groups {0,1}, {2,3}.
         let mut b = TaskGraph::builder(4);
-        b.add_comm(0, 1, 10.0).add_comm(1, 2, 20.0).add_comm(2, 3, 30.0);
+        b.add_comm(0, 1, 10.0)
+            .add_comm(1, 2, 20.0)
+            .add_comm(2, 3, 30.0);
         b.set_task_weight(3, 5.0);
         let g = b.build();
         let c = g.coalesce(&[0, 0, 1, 1], 2);
@@ -338,7 +356,9 @@ mod tests {
     #[test]
     fn data_roundtrip() {
         let mut b = TaskGraph::builder(5);
-        b.add_comm(0, 4, 8.0).add_comm(2, 3, 2.0).set_task_weight(1, 9.0);
+        b.add_comm(0, 4, 8.0)
+            .add_comm(2, 3, 2.0)
+            .set_task_weight(1, 9.0);
         let g = b.build();
         let data = TaskGraphData::from(&g);
         let g2 = TaskGraph::from(&data);

@@ -41,7 +41,11 @@ pub fn graph_stats(g: &TaskGraph) -> GraphStats {
     GraphStats {
         num_tasks: n,
         num_edges: m,
-        avg_degree: if n > 0 { 2.0 * m as f64 / n as f64 } else { 0.0 },
+        avg_degree: if n > 0 {
+            2.0 * m as f64 / n as f64
+        } else {
+            0.0
+        },
         max_degree: g.max_degree(),
         density: if n > 1 {
             m as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
@@ -98,7 +102,9 @@ mod tests {
     #[test]
     fn imbalance_tracks_weights() {
         let mut b = crate::TaskGraph::builder(3);
-        b.set_task_weight(0, 1.0).set_task_weight(1, 4.0).set_task_weight(2, 2.0);
+        b.set_task_weight(0, 1.0)
+            .set_task_weight(1, 4.0)
+            .set_task_weight(2, 2.0);
         let s = graph_stats(&b.build());
         assert_eq!(s.load_imbalance, 4.0);
     }

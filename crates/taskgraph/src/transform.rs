@@ -63,7 +63,11 @@ pub fn disjoint_union(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
 /// (an application with two communication phases, e.g. halo exchange +
 /// transpose).
 pub fn overlay(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
-    assert_eq!(a.num_tasks(), b.num_tasks(), "overlay needs equal task sets");
+    assert_eq!(
+        a.num_tasks(),
+        b.num_tasks(),
+        "overlay needs equal task sets"
+    );
     let mut out = TaskGraph::builder(a.num_tasks());
     for t in 0..a.num_tasks() {
         out.set_task_weight(t, a.vertex_weight(t) + b.vertex_weight(t));
@@ -100,8 +104,8 @@ pub fn relabel(g: &TaskGraph, perm: &[TaskId]) -> TaskGraph {
         seen[p] = true;
     }
     let mut b = TaskGraph::builder(g.num_tasks());
-    for t in 0..g.num_tasks() {
-        b.set_task_weight(perm[t], g.vertex_weight(t));
+    for (t, &new) in perm.iter().enumerate() {
+        b.set_task_weight(new, g.vertex_weight(t));
     }
     for (x, y, w) in g.edges() {
         b.add_comm(perm[x], perm[y], w);
@@ -131,7 +135,7 @@ mod tests {
         assert_eq!(p, perturb_loads(&g, 0.3, 7), "deterministic");
         for t in 0..16 {
             let ratio = p.vertex_weight(t) / g.vertex_weight(t);
-            assert!(ratio >= 0.7 - 1e-9 && ratio <= 1.3 + 1e-9);
+            assert!((0.7 - 1e-9..=1.3 + 1e-9).contains(&ratio));
         }
     }
 

@@ -37,7 +37,13 @@ impl<T: Topology> CachedTopology<T> {
             }
             row_sums[a] = sum;
         }
-        CachedTopology { inner, n, dist, row_sums, diameter }
+        CachedTopology {
+            inner,
+            n,
+            dist,
+            row_sums,
+            diameter,
+        }
     }
 
     /// The wrapped topology.

@@ -19,12 +19,18 @@ pub struct Coords {
 impl Coords {
     /// Build from a slice. Panics if more than [`MAX_DIMS`] entries.
     pub fn from_slice(xs: &[usize]) -> Self {
-        assert!(xs.len() <= MAX_DIMS, "at most {MAX_DIMS} dimensions supported");
+        assert!(
+            xs.len() <= MAX_DIMS,
+            "at most {MAX_DIMS} dimensions supported"
+        );
         let mut a = [0u32; MAX_DIMS];
         for (i, &x) in xs.iter().enumerate() {
             a[i] = u32::try_from(x).expect("coordinate fits in u32");
         }
-        Coords { len: xs.len() as u8, xs: a }
+        Coords {
+            len: xs.len() as u8,
+            xs: a,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -80,7 +86,10 @@ pub fn delinearize(mut id: usize, dims: &[usize]) -> Coords {
         id /= dims[d];
     }
     debug_assert_eq!(id, 0, "node id out of range for grid");
-    Coords { len: dims.len() as u8, xs }
+    Coords {
+        len: dims.len() as u8,
+        xs,
+    }
 }
 
 /// The coordinate of node `id` in dimension `dim` without materializing

@@ -33,7 +33,11 @@ impl FatTree {
         let leaves = arity
             .checked_pow(levels)
             .expect("fat-tree size overflows usize");
-        FatTree { arity, levels, leaves }
+        FatTree {
+            arity,
+            levels,
+            leaves,
+        }
     }
 
     pub fn arity(&self) -> usize {

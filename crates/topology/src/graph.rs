@@ -241,7 +241,8 @@ mod tests {
 
     #[test]
     fn symmetric_distances() {
-        let g = GraphTopology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let g =
+            GraphTopology::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
         for a in 0..6 {
             for b in 0..6 {
                 assert_eq!(g.distance(a, b), g.distance(b, a));
@@ -253,7 +254,16 @@ mod tests {
     fn routing_matches_distance() {
         let g = GraphTopology::from_edges(
             7,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+            ],
         );
         for a in 0..7 {
             for b in 0..7 {

@@ -27,7 +27,7 @@ impl Hypercube {
     /// The smallest hypercube with at least `p` nodes.
     pub fn at_least(p: usize) -> Self {
         assert!(p > 0);
-        let dims = (usize::BITS - (p - 1).leading_zeros()).max(0);
+        let dims = usize::BITS - (p - 1).leading_zeros();
         Hypercube::new(dims)
     }
 

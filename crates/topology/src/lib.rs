@@ -77,7 +77,10 @@ impl Link {
 
     /// The same wire traversed in the opposite direction.
     pub fn reversed(self) -> Self {
-        Link { from: self.to, to: self.from }
+        Link {
+            from: self.to,
+            to: self.from,
+        }
     }
 }
 
@@ -112,7 +115,9 @@ pub trait Topology: Send + Sync {
 
     /// Sum of distances from `node` to every processor (including itself).
     fn sum_distance_from(&self, node: NodeId) -> u64 {
-        (0..self.num_nodes()).map(|b| self.distance(node, b) as u64).sum()
+        (0..self.num_nodes())
+            .map(|b| self.distance(node, b) as u64)
+            .sum()
     }
 }
 
@@ -152,8 +157,14 @@ pub trait RoutedTopology: Topology {
         let mut nbrs = Vec::new();
         self.neighbors_into(cur, &mut nbrs);
         out.clear();
-        out.extend(nbrs.into_iter().filter(|&v| self.distance(v, dest) == target));
-        debug_assert!(!out.is_empty(), "no productive neighbor on a connected graph");
+        out.extend(
+            nbrs.into_iter()
+                .filter(|&v| self.distance(v, dest) == target),
+        );
+        debug_assert!(
+            !out.is_empty(),
+            "no productive neighbor on a connected graph"
+        );
     }
 
     /// The full deterministic route from `src` to `dest`, appended to `out`

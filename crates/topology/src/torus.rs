@@ -43,6 +43,7 @@ impl Torus {
     }
 
     /// Fully wrapped torus.
+    #[allow(clippy::self_named_constructors)] // `Torus::torus` pairs with `Torus::mesh`
     pub fn torus(dims: &[usize]) -> Self {
         Self::new(dims, &vec![true; dims.len()])
     }
@@ -230,7 +231,11 @@ impl RoutedTopology for Torus {
             }
             let step = self.dim_step(d, a, b);
             let n = self.dims[d];
-            let na = if step == 1 { (a + 1) % n } else { (a + n - 1) % n };
+            let na = if step == 1 {
+                (a + 1) % n
+            } else {
+                (a + n - 1) % n
+            };
             return cur - a * self.strides[d] + na * self.strides[d];
         }
         unreachable!("cur == dest");
@@ -243,7 +248,7 @@ pub fn balanced_factors_2(p: usize) -> (usize, usize) {
     let mut best = (1, p);
     let mut a = 1usize;
     while a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             best = (a, p / a);
         }
         a += 1;
@@ -259,7 +264,7 @@ pub fn balanced_factors_3(p: usize) -> (usize, usize, usize) {
     let mut best_key = (p as i64 - 1, -(1i64));
     let mut a = 1usize;
     while a * a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             let q = p / a;
             let (b, c) = balanced_factors_2(q);
             let (lo, hi) = (a.min(b), c.max(a));
@@ -312,8 +317,7 @@ mod tests {
             for b in 0..35 {
                 let ca = t.coords(a);
                 let cb = t.coords(b);
-                let manhattan =
-                    ca.get(0).abs_diff(cb.get(0)) + ca.get(1).abs_diff(cb.get(1));
+                let manhattan = ca.get(0).abs_diff(cb.get(0)) + ca.get(1).abs_diff(cb.get(1));
                 assert_eq!(t.distance(a, b), manhattan as u32);
             }
         }

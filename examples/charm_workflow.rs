@@ -23,7 +23,10 @@ fn main() {
     let mut runtime = Runtime::from_task_graph(&app, p, 200.0);
 
     // --- 1. instrumented execution ---
-    println!("running {} objects on {p} workers (instrumented)...", app.num_tasks());
+    println!(
+        "running {} objects on {p} workers (instrumented)...",
+        app.num_tasks()
+    );
     let db = runtime.run_instrumented(3);
     println!(
         "measured: total load {:.1} ms, {} comm records, {:.1} KiB traffic\n",
@@ -36,8 +39,15 @@ fn main() {
     let dir = std::env::temp_dir().join("topomap-charm-workflow");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let base = dir.join("app");
-    let path = write_step(&base, &LbDump { step: 0, num_procs: p, database: db })
-        .expect("dump written");
+    let path = write_step(
+        &base,
+        &LbDump {
+            step: 0,
+            num_procs: p,
+            database: db,
+        },
+    )
+    .expect("dump written");
     println!("dumped LB database to {}\n", path.display());
 
     // --- 3. +LBSim: compare every strategy on the same scenario ---
@@ -57,7 +67,11 @@ fn main() {
             report.load_imbalance,
             report.hop_bytes / 1024.0
         );
-        if best.as_ref().map(|(_, h)| report.hops_per_byte < *h).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, h)| report.hops_per_byte < *h)
+            .unwrap_or(true)
+        {
             best = Some((report.strategy.clone(), report.hops_per_byte));
         }
     }

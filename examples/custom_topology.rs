@@ -21,7 +21,11 @@ fn main() {
     }
     edges.push((0, 8));
     let machine = GraphTopology::from_edges_named(16, &edges, "TwoRacks(8+8)".into());
-    println!("machine: {} (diameter {})\n", machine.name(), machine.diameter());
+    println!(
+        "machine: {} (diameter {})\n",
+        machine.name(),
+        machine.diameter()
+    );
 
     // Application: two tight 8-task cliques with one thin edge between
     // them — the communication structure *wants* to live one clique per

@@ -36,7 +36,8 @@ fn main() {
         "{:<32} {:>10} {:>12} {:>14}",
         "pipeline", "cut (MiB)", "imbalance", "hops-per-byte"
     );
-    let combos: Vec<(&str, Box<dyn Partitioner>, Box<dyn Mapper>)> = vec![
+    type Combo = (&'static str, Box<dyn Partitioner>, Box<dyn Mapper>);
+    let combos: Vec<Combo> = vec![
         (
             "random / random",
             Box::new(RandomPartition::new(1)),

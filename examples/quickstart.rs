@@ -13,7 +13,11 @@ fn main() {
     // The machine: a 16x16 2D torus (256 processors).
     let machine = Torus::torus_2d(16, 16);
 
-    println!("machine: {}  (diameter {})", machine.name(), machine.diameter());
+    println!(
+        "machine: {}  (diameter {})",
+        machine.name(),
+        machine.diameter()
+    );
     println!(
         "tasks:   {} tasks, {} edges, {:.1} KiB per iteration\n",
         tasks.num_tasks(),
@@ -31,7 +35,10 @@ fn main() {
         Box::new(RefineTopoLb::new(TopoLb::default())),
     ];
 
-    println!("{:<16} {:>14} {:>14}", "mapper", "hops-per-byte", "hop-bytes (MB)");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "mapper", "hops-per-byte", "hop-bytes (MB)"
+    );
     for mapper in &mappers {
         let mapping = mapper.map(&tasks, &machine);
         let hpb = hops_per_byte(&tasks, &machine, &mapping);

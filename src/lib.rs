@@ -51,13 +51,14 @@ pub mod prelude {
     pub use topomap_core::metrics::{hop_bytes, hops_per_byte};
     pub use topomap_core::{
         EstimationOrder, GeneticMap, HierarchicalTopoLb, IdentityMap, LinearOrderMap, Mapper,
-        Mapping, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
+        Mapping, Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, Threads, TopoCentLb,
+        TopoLb,
     };
     pub use topomap_netsim::{NetworkConfig, SimStats, Simulation, Trace};
     pub use topomap_partition::{GreedyLoad, MultilevelKWay, Partition, Partitioner};
     pub use topomap_taskgraph::{TaskGraph, TaskId};
     pub use topomap_topology::{
-        FatTree, GraphTopology, Hypercube, NodeId, RoutedTopology, Topology, Torus,
+        CachedTopology, FatTree, GraphTopology, Hypercube, NodeId, RoutedTopology, Topology, Torus,
     };
 }
 

@@ -4,7 +4,7 @@
 
 use topomap::lb::{replay, strategy, LbDatabase, RefineLb};
 use topomap::netsim::config::NicModel;
-use topomap::netsim::trace::{allreduce_trace, alltoall_trace, reduce_broadcast_trace};
+use topomap::netsim::trace::{allreduce_trace, reduce_broadcast_trace};
 use topomap::prelude::*;
 use topomap::taskgraph::{gen, transform};
 
@@ -112,7 +112,11 @@ fn load_drift_repair_cycle() {
     let db1 = LbDatabase::from_task_graph(&g1);
     let r1 = replay::report(&db1, &machine, "t1-drifted", &base);
 
-    let out = RefineLb { tolerance: 1.10, ..Default::default() }.rebalance(&db1, &machine, &base);
+    let out = RefineLb {
+        tolerance: 1.10,
+        ..Default::default()
+    }
+    .rebalance(&db1, &machine, &base);
     let r2 = replay::report(&db1, &machine, "t1-refined", &out.assignment);
 
     assert!(
@@ -130,7 +134,11 @@ fn load_drift_repair_cycle() {
         .zip(&out.assignment.proc_of_obj)
         .filter(|(a, b)| a != b)
         .count();
-    assert!(changed < g0.num_tasks() / 2, "changed {changed} of {}", g0.num_tasks());
+    assert!(
+        changed < g0.num_tasks() / 2,
+        "changed {changed} of {}",
+        g0.num_tasks()
+    );
 }
 
 /// Composed workloads (halo + transpose phases overlaid) still map and

@@ -87,7 +87,10 @@ fn strategy_ordering_holds_across_workloads() {
         let rnd = hops_per_byte(tasks, topo, &RandomMap::new(1).map(tasks, topo));
         assert!(lb < 0.7 * rnd, "TopoLB {lb} vs random {rnd}");
         assert!(cent < 0.8 * rnd, "TopoCentLB {cent} vs random {rnd}");
-        assert!(lb <= 1.25 * cent, "TopoLB {lb} should not trail TopoCentLB {cent} badly");
+        assert!(
+            lb <= 1.25 * cent,
+            "TopoLB {lb} should not trail TopoCentLB {cent} badly"
+        );
     }
 }
 
@@ -96,7 +99,13 @@ fn strategy_ordering_holds_across_workloads() {
 #[test]
 fn refine_improves_leanmd() {
     let p = 36;
-    let tasks = gen::leanmd(p, &gen::LeanMdConfig { num_computes: 600, ..Default::default() });
+    let tasks = gen::leanmd(
+        p,
+        &gen::LeanMdConfig {
+            num_computes: 600,
+            ..Default::default()
+        },
+    );
     let topo = Torus::torus_2d(6, 6);
     let part = MultilevelKWay::default().partition(&tasks, p);
     let groups = part.coalesce(&tasks);
@@ -106,7 +115,10 @@ fn refine_improves_leanmd() {
         &topo,
         &RefineTopoLb::new(TopoLb::default()).map(&groups, &topo),
     );
-    assert!(refined <= base + 1e-12, "refine must not regress: {base} -> {refined}");
+    assert!(
+        refined <= base + 1e-12,
+        "refine must not regress: {base} -> {refined}"
+    );
 }
 
 /// Table 1's premise, via the simulator: the same trace completes faster
@@ -125,7 +137,10 @@ fn optimal_mapping_gap_grows_with_message_size() {
         let rnd = Simulation::run(&topo, &cfg, &tr, &RandomMap::new(2).map(&tasks, &topo));
         ratios.push(rnd.completion_ns as f64 / opt.completion_ns as f64);
     }
-    assert!(ratios[0] > 1.0, "random must be slower even at 1KB: {ratios:?}");
+    assert!(
+        ratios[0] > 1.0,
+        "random must be slower even at 1KB: {ratios:?}"
+    );
     assert!(
         ratios[1] > ratios[0],
         "gap should grow with message size: {ratios:?}"
@@ -149,7 +164,10 @@ fn mesh_hurts_random_more_than_topolb() {
     let lb_t = hops_per_byte(&tasks, &torus, &TopoLb::default().map(&tasks, &torus));
     let lb_m = hops_per_byte(&tasks, &mesh, &TopoLb::default().map(&tasks, &mesh));
     let lb_penalty = lb_m - lb_t;
-    assert!(rnd_penalty > 0.0, "mesh should cost random placement extra hops");
+    assert!(
+        rnd_penalty > 0.0,
+        "mesh should cost random placement extra hops"
+    );
     assert!(
         lb_penalty < rnd_penalty,
         "TopoLB penalty {lb_penalty} should be below random penalty {rnd_penalty}"

@@ -48,7 +48,12 @@ fn full_stack_life_cycle() {
         &tr,
         &TopoLb::default().map(&groups, &machine),
     );
-    let bad = Simulation::run(&machine, &cfg, &tr, &RandomMap::new(5).map(&groups, &machine));
+    let bad = Simulation::run(
+        &machine,
+        &cfg,
+        &tr,
+        &RandomMap::new(5).map(&groups, &machine),
+    );
     assert!(good.completion_ns <= bad.completion_ns);
 }
 
@@ -58,13 +63,27 @@ fn dump_replay_is_lossless() {
     let dir = std::env::temp_dir().join("topomap-integration-dump");
     std::fs::create_dir_all(&dir).unwrap();
     let base = dir.join("it");
-    let g = gen::leanmd(16, &gen::LeanMdConfig { num_computes: 150, ..Default::default() });
+    let g = gen::leanmd(
+        16,
+        &gen::LeanMdConfig {
+            num_computes: 150,
+            ..Default::default()
+        },
+    );
     let db = LbDatabase::from_task_graph(&g);
     let machine = Torus::torus_2d(4, 4);
 
     let direct = replay::evaluate(&db, &machine, strategy::by_name("TopoLB").unwrap().as_ref());
 
-    write_step(&base, &LbDump { step: 7, num_procs: 16, database: db }).unwrap();
+    write_step(
+        &base,
+        &LbDump {
+            step: 7,
+            num_procs: 16,
+            database: db,
+        },
+    )
+    .unwrap();
     let via_file = replay::simulate_step(
         &base,
         7,
@@ -101,7 +120,7 @@ fn two_phase_all_combinations() {
             assert_eq!(placement.len(), 95);
             assert!(placement.iter().all(|&q| q < 12));
             // Group mapping must be injective over the 12 groups.
-            let mut seen = vec![false; 12];
+            let mut seen = [false; 12];
             for g in 0..r.group_graph.num_tasks() {
                 let q = r.group_mapping.proc_of(g);
                 assert!(!seen[q]);
@@ -120,8 +139,14 @@ fn simulator_honors_cross_task_dependencies() {
     // task ordering must hold regardless of mapping.
     let tr = Trace {
         programs: vec![
-            vec![TraceOp::Compute { ns: 1_000_000 }, TraceOp::Send { to: 1, bytes: 1000 }],
-            vec![TraceOp::Recv { from: 0 }, TraceOp::Send { to: 2, bytes: 1000 }],
+            vec![
+                TraceOp::Compute { ns: 1_000_000 },
+                TraceOp::Send { to: 1, bytes: 1000 },
+            ],
+            vec![
+                TraceOp::Recv { from: 0 },
+                TraceOp::Send { to: 2, bytes: 1000 },
+            ],
             vec![TraceOp::Recv { from: 1 }],
         ],
     };
@@ -134,7 +159,10 @@ fn simulator_honors_cross_task_dependencies() {
         Mapping::new(vec![1, 2, 0], 3),
     ] {
         let s = Simulation::run(&machine, &cfg, &tr, &mapping);
-        assert!(s.completion_ns >= 1_000_000, "chain can't finish before the compute");
+        assert!(
+            s.completion_ns >= 1_000_000,
+            "chain can't finish before the compute"
+        );
         assert_eq!(s.network_messages + s.local_messages, 2);
     }
 }
@@ -145,7 +173,13 @@ fn simulator_honors_cross_task_dependencies() {
 #[test]
 fn coalesced_leanmd_simulates_cleanly() {
     let p = 16;
-    let tasks = gen::leanmd(p, &gen::LeanMdConfig { num_computes: 200, ..Default::default() });
+    let tasks = gen::leanmd(
+        p,
+        &gen::LeanMdConfig {
+            num_computes: 200,
+            ..Default::default()
+        },
+    );
     let machine = Torus::torus_2d(4, 4);
     let r = two_phase(
         &tasks,

@@ -8,9 +8,8 @@ use topomap::prelude::*;
 use topomap::taskgraph::gen;
 
 fn arb_task_graph() -> impl Strategy<Value = TaskGraph> {
-    (4usize..=24, 0.5f64..4.0, any::<u64>()).prop_map(|(n, deg, seed)| {
-        gen::random_graph(n, deg.min(n as f64 - 1.0), 1.0, 1000.0, seed)
-    })
+    (4usize..=24, 0.5f64..4.0, any::<u64>())
+        .prop_map(|(n, deg, seed)| gen::random_graph(n, deg.min(n as f64 - 1.0), 1.0, 1000.0, seed))
 }
 
 fn arb_torus_for(n: usize) -> impl Strategy<Value = Torus> {
@@ -122,9 +121,11 @@ proptest! {
         let g = gen::stencil2d(3, 4, 512.0, false);
         let topo = Torus::torus_2d(4, 3);
         let tr = stencil_trace(&g, iters, 1000);
-        let mut cfg = NetworkConfig::default();
-        cfg.switching = if wormhole { Switching::Wormhole } else { Switching::CutThrough };
-        cfg.nic = if perlink { NicModel::PerLink } else { NicModel::SharedChannel };
+        let cfg = NetworkConfig {
+            switching: if wormhole { Switching::Wormhole } else { Switching::CutThrough },
+            nic: if perlink { NicModel::PerLink } else { NicModel::SharedChannel },
+            ..Default::default()
+        };
         let m = RandomMap::new(seed).map(&g, &topo);
         let s1 = Simulation::run(&topo, &cfg, &tr, &m);
         let s2 = Simulation::run(&topo, &cfg, &tr, &m);
@@ -155,11 +156,20 @@ fn wormhole_backpressure_delays_upstream_traffic() {
     let tr = Trace {
         programs: vec![
             vec![
-                TraceOp::Send { to: 3, bytes: 50_000 }, // A
-                TraceOp::Send { to: 1, bytes: 50_000 }, // C
+                TraceOp::Send {
+                    to: 3,
+                    bytes: 50_000,
+                }, // A
+                TraceOp::Send {
+                    to: 1,
+                    bytes: 50_000,
+                }, // C
             ],
             vec![TraceOp::Recv { from: 0 }],
-            vec![TraceOp::Send { to: 3, bytes: 50_000 }], // B
+            vec![TraceOp::Send {
+                to: 3,
+                bytes: 50_000,
+            }], // B
             vec![TraceOp::Recv { from: 0 }, TraceOp::Recv { from: 2 }],
         ],
     };

@@ -1,0 +1,358 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this stub round-trips every type
+//! through a small JSON-shaped [`value::Value`] tree: `Serialize::to_value`
+//! builds the tree and `Deserialize::from_value` reads it back. The vendored
+//! `serde_json` then renders/parses that tree as JSON text. Representations
+//! match serde's defaults for the shapes this workspace uses (named-field
+//! structs → objects, unit enum variants → strings, struct variants →
+//! single-key objects, tuples → arrays), so the JSON files it writes look
+//! exactly like the ones the real crates would produce.
+
+// Let the `::serde::` paths that the derive macros emit resolve even when
+// the derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: &str) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod value {
+    use super::Error;
+
+    /// A JSON-shaped value tree. Object keys keep insertion order so that
+    /// serialized output is deterministic and mirrors field declaration order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up a field in an object by name (used by derived impls).
+    pub fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(&format!("missing field `{name}`")))
+    }
+}
+
+use value::Value;
+
+/// Conversion into the value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty => $variant:ident as $repr:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $repr)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_int!(
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    isize => I64 as i64
+);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+) of $len:literal),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                if items.len() != $len {
+                    return Err(Error::custom(concat!("expected array of length ", $len)));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!(
+    (A: 0) of 1,
+    (A: 0, B: 1) of 2,
+    (A: 0, B: 1, C: 2) of 3,
+    (A: 0, B: 1, C: 2, D: 3) of 4
+);
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn integers_accept_cross_signed_tokens_and_reject_overflow() {
+        assert_eq!(u32::from_value(&Value::I64(9)).unwrap(), 9);
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+        // JSON integer tokens parse as U64/I64; f64 fields must accept them.
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(usize, usize, f64)> = vec![(0, 1, 2.0), (3, 4, 5.0)];
+        assert_eq!(
+            Vec::<(usize, usize, f64)>::from_value(&v.to_value()).unwrap(),
+            v
+        );
+        let nested: Vec<Vec<u64>> = vec![vec![1, 2], vec![], vec![3]];
+        assert_eq!(
+            Vec::<Vec<u64>>::from_value(&nested.to_value()).unwrap(),
+            nested
+        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(2)).unwrap(), Some(2));
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        y: u64,
+        label: String,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Shape {
+        Empty,
+        Dot { at: Point },
+        Box { w: f64, h: f64 },
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let p = Point {
+            x: 0.5,
+            y: 9,
+            label: "corner".into(),
+        };
+        assert_eq!(Point::from_value(&p.to_value()).unwrap(), p);
+        // Field order in the value tree follows declaration order.
+        let Value::Object(pairs) = p.to_value() else {
+            panic!("expected object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["x", "y", "label"]);
+    }
+
+    #[test]
+    fn derived_enum_round_trips() {
+        for s in [
+            Shape::Empty,
+            Shape::Dot {
+                at: Point {
+                    x: 1.0,
+                    y: 2,
+                    label: "p".into(),
+                },
+            },
+            Shape::Box { w: 3.0, h: 4.0 },
+        ] {
+            assert_eq!(Shape::from_value(&s.to_value()).unwrap(), s);
+        }
+        // Unit variants serialize as bare strings, like serde's default.
+        assert_eq!(Shape::Empty.to_value(), Value::Str("Empty".into()));
+        assert!(Shape::from_value(&Value::Str("Bogus".into())).is_err());
+    }
+}

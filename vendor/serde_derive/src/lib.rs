@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree model of the vendored `serde` stub (`serde::Serialize::to_value`
+//! / `serde::Deserialize::from_value`), without `syn`/`quote`: the item is
+//! parsed directly from the token stream and the impl is emitted as source
+//! text. Supported shapes are exactly what this workspace derives on:
+//! non-generic named-field structs, and enums whose variants are unit or
+//! named-field. Representation matches serde's external default: unit
+//! variants as `"Name"`, struct variants as `{"Name": {..fields..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group is an attribute.
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                    _ => return i,
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the field names out of a named-field brace group, skipping each
+/// field's type (tracking `<...>` nesting so commas inside generics don't
+/// split fields; tuples and other groups are single opaque tokens).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected ':' after field, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("serde_derive stub: `{name}` must have a braced body (named fields)");
+    };
+    match kind.as_str() {
+        "struct" => {
+            assert!(
+                body.delimiter() == Delimiter::Brace,
+                "serde_derive stub: tuple struct `{name}` is not supported"
+            );
+            Item::Struct {
+                name,
+                fields: parse_named_fields(body),
+            }
+        }
+        "enum" => {
+            let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < tokens.len() {
+                j = skip_attrs_and_vis(&tokens, j);
+                let Some(TokenTree::Ident(vname)) = tokens.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let fields = match tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        parse_named_fields(g)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde_derive stub: tuple variant `{name}::{vname}` unsupported")
+                    }
+                    _ => Vec::new(),
+                };
+                if matches!(tokens.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive on `{other}`"),
+    }
+}
+
+fn object_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    let mut s = String::from("::serde::value::Value::Object(::std::vec![");
+    for f in fields {
+        s.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+            accessor(f)
+        ));
+    }
+    s.push_str("])");
+    s
+}
+
+fn struct_build_expr(path: &str, fields: &[String], obj: &str) -> String {
+    let mut s = format!("{path} {{");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::value::field({obj}, \"{f}\")?)?,"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let obj = object_expr(&fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{ {obj} }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\
+                            ::std::string::String::from(\"{v}\")),"
+                    ));
+                } else {
+                    let binds = fields.join(", ");
+                    let inner = object_expr(fields, |f| f.to_string());
+                    arms.push_str(&format!(
+                        "{name}::{v} {{ {binds} }} => ::serde::value::Value::Object(\
+                            ::std::vec![(::std::string::String::from(\"{v}\"), {inner})]),"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let build = struct_build_expr(&name, &fields, "obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(
+                            \"expected object for struct {name}\"))?;
+                        ::std::result::Result::Ok({build})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    ));
+                } else {
+                    let build = struct_build_expr(&format!("{name}::{v}"), fields, "inner");
+                    data_arms.push_str(&format!(
+                        "\"{v}\" => {{
+                            let inner = val.as_object().ok_or_else(|| ::serde::Error::custom(
+                                \"expected object for variant {name}::{v}\"))?;
+                            ::std::result::Result::Ok({build})
+                        }}"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::value::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => ::std::result::Result::Err(::serde::Error::custom(
+                                    &::std::format!(\"unknown variant {{other}} of {name}\"))),
+                            }},
+                            ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{
+                                let (tag, val) = &pairs[0];
+                                match tag.as_str() {{
+                                    {data_arms}
+                                    other => ::std::result::Result::Err(::serde::Error::custom(
+                                        &::std::format!(
+                                            \"unknown variant {{other}} of {name}\"))),
+                                }}
+                            }}
+                            _ => ::std::result::Result::Err(::serde::Error::custom(
+                                \"expected string or single-key object for enum {name}\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}
