@@ -16,6 +16,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablation",
     "exp_physopt",
     "exp_routing",
+    "exp_profile",
 ];
 
 fn main() {

@@ -18,6 +18,7 @@
 //! | `exp_fig9`   | Figure 9 (completion time vs bandwidth) |
 //! | `exp_fig10_11` | Figures 10–11 (BlueGene 3D-torus/mesh iteration times) |
 //! | `exp_ablation` | our ablations (estimation order, refine passes, partitioner) |
+//! | `exp_profile` | profiled smoke run: stamps `PROFILE_*.json` traces |
 //! | `run_all`    | everything above in sequence |
 
 use std::fmt::Write as _;

@@ -13,6 +13,12 @@ impl Args {
     /// start with `--` and take exactly one value; duplicates are
     /// rejected.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
+        Self::parse_with_flags(argv, &[])
+    }
+
+    /// Like [`Args::parse`], but flags named in `bool_flags` take no
+    /// value: their presence stores `"true"` (query with [`Args::flag`]).
+    pub fn parse_with_flags(argv: &[String], bool_flags: &[&str]) -> Result<Self, String> {
         let mut values = HashMap::new();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -22,10 +28,15 @@ impl Args {
             if key.is_empty() {
                 return Err("empty flag name".into());
             }
-            let Some(value) = it.next() else {
-                return Err(format!("flag --{key} is missing its value"));
+            let value = if bool_flags.contains(&key) {
+                "true".to_string()
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(format!("flag --{key} is missing its value"));
+                };
+                value.clone()
             };
-            if values.insert(key.to_string(), value.clone()).is_some() {
+            if values.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         }
@@ -43,6 +54,11 @@ impl Args {
     /// An optional string flag.
     pub fn optional(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// A boolean flag (parsed via `parse_with_flags`): present or not.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).map(|v| v == "true").unwrap_or(false)
     }
 
     /// An optional parsed flag with a default.
@@ -87,6 +103,20 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         assert!(Args::parse(&s(&["--x", "1", "--x", "2"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = Args::parse_with_flags(&s(&["--profile", "--x", "1"]), &["profile"]).unwrap();
+        assert!(a.flag("profile"));
+        assert!(!a.flag("x"), "value flags are not boolean");
+        assert!(!a.flag("absent"));
+        assert_eq!(a.required("x").unwrap(), "1");
+        // A boolean flag at the end must not consume a value.
+        let a = Args::parse_with_flags(&s(&["--x", "1", "--profile"]), &["profile"]).unwrap();
+        assert!(a.flag("profile"));
+        // Without registration, --profile still demands a value.
+        assert!(Args::parse(&s(&["--profile"])).is_err());
     }
 
     #[test]

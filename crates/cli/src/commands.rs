@@ -4,7 +4,7 @@ use crate::args::Args;
 use crate::specs;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use topomap_core::{metrics, Mapping};
+use topomap_core::{metrics, obs, Mapping};
 use topomap_netsim::{trace, NetworkConfig, Simulation};
 use topomap_taskgraph::io as tgio;
 
@@ -14,10 +14,12 @@ topomap — topology-aware task mapping (IPDPS'06 reproduction)
 USAGE:
   topomap gen      --pattern SPEC [--bytes N] [--seed S] --out FILE
   topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S]
-                   [--threads auto|N] [--out FILE]
+                   [--threads auto|N] [--out FILE] [--profile]
+                   [--trace-out FILE] [--trace-format json|csv]
   topomap eval     --topology SPEC --tasks FILE --mapping FILE
   topomap simulate --topology SPEC --tasks FILE --mapping FILE
                    [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
+                   [--profile] [--trace-out FILE] [--trace-format json|csv]
   topomap help
 
 SPECS:
@@ -30,6 +32,11 @@ SPECS:
             | refine | identity | linear | anneal | genetic
   threads:  worker threads for the mapper (auto = detect; results are
             identical for every setting)
+
+OBSERVABILITY:
+  --profile            print a span/counter summary after the run
+  --trace-out FILE     write the full trace report to FILE
+  --trace-format FMT   trace file format: json (default) | csv
 ";
 
 /// On-disk mapping format.
@@ -52,6 +59,64 @@ fn load_mapping(path: &str) -> Result<Mapping, String> {
     Ok(Mapping::new(mf.proc_of_task, mf.num_procs))
 }
 
+/// Observability flags shared by `map` and `simulate`: `--profile`
+/// prints a summary, `--trace-out FILE` writes the full report in
+/// `--trace-format` (json|csv). Recording turns on only when at least
+/// one of them is requested, so default runs pay a single atomic load.
+struct ObsOpts {
+    profile: bool,
+    trace_out: Option<String>,
+    csv: bool,
+}
+
+impl ObsOpts {
+    fn from_args(args: &Args) -> Result<Self, String> {
+        let csv = match args.optional("trace-format").unwrap_or("json") {
+            "json" => false,
+            "csv" => true,
+            other => return Err(format!("flag --trace-format: unknown format '{other}'")),
+        };
+        Ok(ObsOpts {
+            profile: args.flag("profile"),
+            trace_out: args.optional("trace-out").map(|s| s.to_string()),
+            csv,
+        })
+    }
+
+    fn active(&self) -> bool {
+        self.profile || self.trace_out.is_some()
+    }
+
+    /// Start recording if requested.
+    fn begin(&self) {
+        if self.active() {
+            obs::start();
+        }
+    }
+
+    /// Stop recording, write the trace file, and append the `--profile`
+    /// summary to `out`.
+    fn end(&self, out: &mut String) -> Result<(), String> {
+        if !self.active() {
+            return Ok(());
+        }
+        let report = obs::finish();
+        if let Some(path) = &self.trace_out {
+            let body = if self.csv {
+                report.to_csv()
+            } else {
+                report.to_json()
+            };
+            std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+            let _ = writeln!(out, "wrote trace {path}");
+        }
+        if self.profile {
+            let _ = writeln!(out, "\nprofile:\n{}", report.summary());
+        }
+        Ok(())
+    }
+}
+
 /// `topomap gen` — generate a workload task graph and write it as JSON.
 pub fn cmd_gen(args: &Args) -> Result<String, String> {
     let pattern = args.required("pattern")?;
@@ -71,6 +136,7 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
 
 /// `topomap map` — map a task graph onto a machine.
 pub fn cmd_map(args: &Args) -> Result<String, String> {
+    let obs_opts = ObsOpts::from_args(args)?;
     let topo = specs::parse_topology(args.required("topology")?)?;
     let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
     let seed: u64 = args.parsed_or("seed", 0)?;
@@ -85,6 +151,7 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
             t.num_nodes()
         ));
     }
+    obs_opts.begin();
     let mapping = mapper.map(&tasks, t);
     let q = metrics::quality(&tasks, t, &mapping);
     let mut out = String::new();
@@ -103,6 +170,7 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
         )?;
         let _ = writeln!(out, "wrote {path}");
     }
+    obs_opts.end(&mut out)?;
     Ok(out)
 }
 
@@ -134,6 +202,7 @@ pub fn cmd_eval(args: &Args) -> Result<String, String> {
 /// `topomap simulate` — replay the stencil-style trace of the workload
 /// through the packet simulator under the given mapping.
 pub fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let obs_opts = ObsOpts::from_args(args)?;
     let topo = specs::parse_topology(args.required("topology")?)?;
     let routed = topo.as_routed()?;
     let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
@@ -146,6 +215,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     tr.check_matched()
         .map_err(|(a, b)| format!("trace mismatch between {a} and {b}"))?;
     let cfg = NetworkConfig::default().with_bandwidth(bandwidth_mbps * 1e6);
+    obs_opts.begin();
     let s = Simulation::run(routed, &cfg, &tr, &mapping);
 
     let mut out = String::new();
@@ -162,6 +232,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "avg hops:           {:.3}", s.avg_hops);
     let _ = writeln!(out, "network messages:   {}", s.network_messages);
     let _ = writeln!(out, "max link util:      {:.3}", s.max_link_utilization);
+    obs_opts.end(&mut out)?;
     Ok(out)
 }
 
@@ -352,5 +423,76 @@ mod tests {
     fn missing_flags_are_reported() {
         assert!(cmd_gen(&args(&["--out", "/tmp/x"])).is_err());
         assert!(cmd_map(&args(&["--topology", "torus:2x2"])).is_err());
+    }
+
+    fn args_with_profile(v: &[&str]) -> Args {
+        Args::parse_with_flags(
+            &v.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
+            &["profile"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unknown_trace_format_is_rejected() {
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:2x2",
+            "--tasks",
+            "unused.json",
+            "--mapper",
+            "topolb",
+            "--trace-format",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("trace-format"), "{err}");
+    }
+
+    #[test]
+    fn map_profile_writes_trace_and_summary() {
+        let tasks_path = tmp("prof-tasks.json");
+        let trace_json = tmp("prof-trace.json");
+        let trace_csv = tmp("prof-trace.csv");
+        cmd_gen(&args(&["--pattern", "stencil2d:4x4", "--out", &tasks_path])).unwrap();
+
+        let out = cmd_map(&args_with_profile(&[
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--profile",
+            "--trace-out",
+            &trace_json,
+        ]))
+        .unwrap();
+        assert!(out.contains("profile:"), "{out}");
+        assert!(out.contains("topolb.map"), "{out}");
+        let report =
+            obs::Report::from_json(&std::fs::read_to_string(&trace_json).unwrap()).unwrap();
+        assert!(report.find_span("topolb.map").is_some());
+        // Concurrent tests in this binary may also run mappers while the
+        // global recorder is on, so assert a floor, not an exact count.
+        assert!(report.counter("topolb.placements").unwrap_or(0) >= 16);
+
+        // CSV format writes the line-oriented dump instead.
+        cmd_map(&args_with_profile(&[
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--trace-out",
+            &trace_csv,
+            "--trace-format",
+            "csv",
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&trace_csv).unwrap();
+        assert!(csv.starts_with("kind,name,a,b"), "{csv}");
+        assert!(csv.contains("counter,topolb.placements,"), "{csv}");
     }
 }

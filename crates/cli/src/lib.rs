@@ -41,7 +41,7 @@ pub fn run_inner(argv: &[String]) -> Result<String, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
-    let args = Args::parse(&argv[1..])?;
+    let args = Args::parse_with_flags(&argv[1..], &["profile"])?;
     match cmd.as_str() {
         "gen" => commands::cmd_gen(&args),
         "map" => commands::cmd_map(&args),

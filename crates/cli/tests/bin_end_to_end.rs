@@ -81,6 +81,98 @@ fn full_workflow_through_the_binary() {
 }
 
 #[test]
+fn profiled_map_and_simulate_emit_traces() {
+    let tasks = tmp("prof-t.json");
+    let mapping = tmp("prof-m.json");
+    let map_trace = tmp("prof-map-trace.json");
+    let sim_trace = tmp("prof-sim-trace.json");
+
+    let (ok, _, err) = topomap(&["gen", "--pattern", "stencil2d:4x4", "--out", &tasks]);
+    assert!(ok, "gen failed: {err}");
+
+    let (ok, out, err) = topomap(&[
+        "map",
+        "--topology",
+        "torus:4x4",
+        "--tasks",
+        &tasks,
+        "--mapper",
+        "refine",
+        "--out",
+        &mapping,
+        "--profile",
+        "--trace-out",
+        &map_trace,
+    ]);
+    assert!(ok, "profiled map failed: {err}");
+    assert!(out.contains("profile:"), "{out}");
+    assert!(out.contains("wrote trace "), "{out}");
+
+    let report =
+        topomap_core::obs::Report::from_json(&std::fs::read_to_string(&map_trace).unwrap())
+            .unwrap();
+    // Refine wraps TopoLB: the tree must show the whole pipeline.
+    for phase in [
+        "refine.map",
+        "refine.initial",
+        "refine.sweep",
+        "topolb.map",
+        "estimation.init",
+        "topolb.place",
+    ] {
+        assert!(report.find_span(phase).is_some(), "missing span {phase}");
+    }
+    assert!(report.span_count() >= 3, "span tree too shallow");
+    assert!(report.counter("topolb.placements").unwrap_or(0) > 0);
+    assert_eq!(
+        report.counter("refine.candidates_evaluated"),
+        Some(
+            report.counter("refine.swaps_accepted").unwrap()
+                + report.counter("refine.swaps_rejected").unwrap()
+        )
+    );
+
+    let (ok, out, err) = topomap(&[
+        "simulate",
+        "--topology",
+        "torus:4x4",
+        "--tasks",
+        &tasks,
+        "--mapping",
+        &mapping,
+        "--iterations",
+        "3",
+        "--profile",
+        "--trace-out",
+        &sim_trace,
+    ]);
+    assert!(ok, "profiled simulate failed: {err}");
+    assert!(out.contains("profile:"), "{out}");
+
+    let report =
+        topomap_core::obs::Report::from_json(&std::fs::read_to_string(&sim_trace).unwrap())
+            .unwrap();
+    for phase in [
+        "netsim.run",
+        "netsim.setup",
+        "netsim.events",
+        "netsim.aggregate",
+    ] {
+        assert!(report.find_span(phase).is_some(), "missing span {phase}");
+    }
+    assert!(report.counter("netsim.events").unwrap_or(0) > 0);
+    // The two hop-bytes ledgers agree: per-link bytes vs per-delivery.
+    let link_bytes: f64 = report
+        .series("netsim.link_bytes")
+        .map_or(0.0, |s| s.values.iter().sum());
+    assert_eq!(
+        link_bytes as u64,
+        report.counter("netsim.bytes_hops").unwrap(),
+        "link byte ledger must match delivered bytes x hops"
+    );
+}
+
+#[test]
 fn errors_exit_nonzero_with_usage() {
     let (ok, _out, err) = topomap(&["map", "--topology", "nonsense:3"]);
     assert!(!ok);

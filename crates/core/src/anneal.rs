@@ -15,6 +15,7 @@
 //! `exp_physopt` bench quantifies the paper's quality-vs-time trade-off
 //! against TopoLB.
 
+use crate::obs;
 use crate::par::{Executor, Parallelism};
 use crate::refine::swap_delta;
 use crate::{metrics, Mapper, Mapping, RandomMap};
@@ -96,6 +97,7 @@ impl Mapper for SimulatedAnnealingMap {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
+        let _map_span = obs::span("anneal.map");
         // Independent streams: proposals must not shift when acceptance
         // draws are reordered by the batch walk (see the type docs).
         let mut prop_rng = StdRng::seed_from_u64(self.seed);
@@ -104,14 +106,19 @@ impl Mapper for SimulatedAnnealingMap {
 
         // Seed from random placement (the classic SA setup; seeding from
         // TopoLB would conflate the comparison).
+        let seed_span = obs::span("anneal.seed");
         let mut m = RandomMap::new(self.seed ^ 0x5eed).map(tasks, topo);
         let mut best = m.clone();
         let mut cur_hb = metrics::hop_bytes(tasks, topo, &m);
         let mut best_hb = cur_hb;
+        drop(seed_span);
 
         if n < 2 || tasks.num_edges() == 0 {
             return m;
         }
+
+        let _search_span = obs::span("anneal.search");
+        let (mut n_acc, mut n_rej, mut n_void, mut n_steps) = (0u64, 0u64, 0u64, 0u64);
 
         // Scale-free initial temperature: proportional to the average
         // per-edge hop-bytes of the seed.
@@ -183,6 +190,7 @@ impl Mapper for SimulatedAnnealingMap {
                         // An earlier acceptance may have filled q; the
                         // proposal is then void (no acceptance draw).
                         if m.task_on(q).is_some() {
+                            n_void += 1;
                             continue;
                         }
                         if dirty[a] {
@@ -193,7 +201,11 @@ impl Mapper for SimulatedAnnealingMap {
                     }
                 };
                 let accept = delta < 0.0 || acc_rng.gen_bool((-delta / temp).exp().min(1.0));
+                if !accept {
+                    n_rej += 1;
+                }
                 if accept {
+                    n_acc += 1;
                     match prop {
                         Proposal::Swap(a, b) => {
                             m.swap_tasks(a, b);
@@ -212,9 +224,16 @@ impl Mapper for SimulatedAnnealingMap {
                     }
                 }
             }
+            n_steps += 1;
+            obs::series_push("anneal.hb", cur_hb);
             dirty.fill(false);
             temp *= self.cooling;
         }
+        obs::counter_add("anneal.proposals", n_steps * self.moves_per_temp as u64);
+        obs::counter_add("anneal.accepted", n_acc);
+        obs::counter_add("anneal.rejected", n_rej);
+        obs::counter_add("anneal.voided", n_void);
+        obs::counter_add("anneal.temp_steps", n_steps);
         best
     }
 

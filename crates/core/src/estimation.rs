@@ -22,6 +22,7 @@
 //! (`FSum`, giving `FAvg`) over free processors, exactly the bookkeeping
 //! the paper describes for its complexity bounds.
 
+use crate::obs;
 use crate::par::{Executor, Parallelism};
 use topomap_taskgraph::{TaskGraph, TaskId};
 use topomap_topology::{stats::AvgDistTable, NodeId, Topology};
@@ -118,6 +119,8 @@ impl<'a> EstimationState<'a> {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
+        // Covers the distance tables plus the initial full fest scan.
+        let _init_span = obs::span("estimation.init");
         let avg_all = AvgDistTable::new(topo);
         let sum_free = match order {
             EstimationOrder::Third => (0..p).map(|r| avg_all.sum(r) as f64).collect(),
@@ -262,6 +265,7 @@ impl<'a> EstimationState<'a> {
     pub fn assign(&mut self, t: TaskId, q: NodeId) {
         assert!(self.placement[t] == usize::MAX, "task {t} already placed");
         assert!(self.free_pos[q] != usize::MAX, "processor {q} not free");
+        obs::counter_add("estimation.assigns", 1);
         self.placement[t] = q;
 
         // Remove t from unassigned (swap-remove keeps O(1)).
@@ -362,11 +366,16 @@ impl<'a> EstimationState<'a> {
                 let this = &*self;
                 this.exec.map_chunks(u_len, wpi, |range| {
                     let mut out = Vec::with_capacity(range.len());
+                    // Which path each task takes is deterministic (mask and
+                    // argmin are thread-invariant), so these per-chunk tallies
+                    // sum to the same totals for every chunking.
+                    let (mut full, mut fast) = (0u64, 0u64);
                     for i in range {
                         let u = this.unassigned[i];
                         if this.nbr_mask[u] {
                             let (min, argmin, sum) = scan_stats(&this.free, |c| this.fest(u, c));
                             out.push((u, min, argmin, sum));
+                            full += 1;
                             continue;
                         }
                         // fest(u, q) with q now removed: reconstruct the
@@ -377,14 +386,22 @@ impl<'a> EstimationState<'a> {
                         if this.fmin_proc[u] == q {
                             let (min, argmin, s) = scan_stats(&this.free, |c| this.fest(u, c));
                             out.push((u, min, argmin, s));
+                            full += 1;
                         } else {
                             out.push((u, this.fmin[u], this.fmin_proc[u], sum));
+                            fast += 1;
                         }
                     }
+                    obs::counter_add("estimation.fest_full_scan", full);
+                    obs::counter_add("estimation.fest_incremental", fast);
                     out
                 })
             }
         };
+        if self.order == EstimationOrder::Third {
+            // Third order recomputes every unassigned task's stats in full.
+            obs::counter_add("estimation.fest_full_scan", u_len as u64);
+        }
         for chunk in updates {
             for (u, min, argmin, sum) in chunk {
                 self.fmin[u] = min;

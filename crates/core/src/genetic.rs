@@ -11,6 +11,7 @@
 //! large compared to the execution time of the application" — not to be
 //! the production mapper.
 
+use crate::obs;
 use crate::par::{Executor, Parallelism};
 use crate::{metrics, Mapper, Mapping};
 use rand::rngs::StdRng;
@@ -90,6 +91,7 @@ fn batch_fitness(
         .iter()
         .map(|g| Mapping::new(g[..n].to_vec(), p))
         .collect();
+    obs::counter_add("genetic.fitness_evaluations", genomes.len() as u64);
     metrics::hop_bytes_many_in(exec, tasks, topo, &maps)
 }
 
@@ -120,10 +122,12 @@ impl Mapper for GeneticMap {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
+        let _map_span = obs::span("genetic.map");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let exec = Executor::new(self.par);
 
         // Initial population of random permutations of all p processors.
+        let init_span = obs::span("genetic.init_pop");
         let genomes: Vec<Genome> = (0..self.population.max(2))
             .map(|_| {
                 let mut g: Genome = (0..p).collect();
@@ -131,10 +135,14 @@ impl Mapper for GeneticMap {
                 g
             })
             .collect();
+        obs::counter_add("genetic.initial_pop", genomes.len() as u64);
         let fits = batch_fitness(&exec, tasks, topo, &genomes, n, p);
         let mut pop: Vec<(f64, Genome)> = fits.into_iter().zip(genomes).collect();
         pop.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        drop(init_span);
 
+        let _evolve_span = obs::span("genetic.evolve");
+        let mut children_bred = 0u64;
         for _gen in 0..self.generations {
             let mut next: Vec<(f64, Genome)> = pop[..self.elite.min(pop.len())].to_vec();
             // Breed serially (the RNG draw order defines the algorithm),
@@ -156,11 +164,15 @@ impl Mapper for GeneticMap {
                 }
                 children.push(child);
             }
+            children_bred += children.len() as u64;
             let fits = batch_fitness(&exec, tasks, topo, &children, n, p);
             next.extend(fits.into_iter().zip(children));
             next.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
             pop = next;
+            obs::series_push("genetic.best_hb", pop[0].0);
         }
+        obs::counter_add("genetic.generations", self.generations as u64);
+        obs::counter_add("genetic.children_bred", children_bred);
 
         let best = &pop[0].1;
         Mapping::new(best[..n].to_vec(), p)

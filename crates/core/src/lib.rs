@@ -49,6 +49,7 @@ pub mod genetic;
 pub mod hierarchy;
 pub mod linear;
 pub mod metrics;
+pub mod obs;
 pub mod optimal;
 pub mod par;
 pub mod pipeline;

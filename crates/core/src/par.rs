@@ -24,6 +24,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::obs;
 
 /// Thread-count selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,22 +148,47 @@ impl Executor {
         T: Send,
         F: Fn(Range<usize>) -> T + Sync,
     {
+        // Sampled once per region so the per-worker probes agree with the
+        // region-level ones even if profiling is toggled mid-region.
+        let prof = obs::enabled();
         let pool = match &self.pool {
             Some(pool) if len.saturating_mul(work_per_item) >= self.min_work && len > 1 => pool,
-            _ => return vec![f(0..len)],
+            _ => {
+                if prof {
+                    obs::counter_add("par.regions.serial", 1);
+                    return vec![obs::time_counter("par.serial_ns", || f(0..len))];
+                }
+                return vec![f(0..len)];
+            }
         };
         let k = self.threads;
+        let region_start = prof.then(Instant::now);
         let mut out: Vec<Option<T>> = Vec::with_capacity(k);
         out.resize_with(k, || None);
         {
             let slots = Slots(out.as_mut_ptr());
             let f = &f;
             pool.broadcast(&move |i: usize| {
-                let r = f(chunk_range(len, k, i));
+                let r = if prof {
+                    let t = Instant::now();
+                    let r = f(chunk_range(len, k, i));
+                    obs::counter_add(
+                        &format!("par.worker.{i}.busy_ns"),
+                        t.elapsed().as_nanos() as u64,
+                    );
+                    r
+                } else {
+                    f(chunk_range(len, k, i))
+                };
                 // Sound: each worker index writes exactly one distinct slot,
                 // and broadcast() does not return until every worker is done.
                 unsafe { slots.set(i, r) };
             });
+        }
+        if let Some(t) = region_start {
+            obs::counter_add("par.regions", 1);
+            obs::counter_add("par.chunks", k as u64);
+            obs::counter_add("par.wall_ns", t.elapsed().as_nanos() as u64);
         }
         out.into_iter().map(|r| r.expect("chunk result")).collect()
     }

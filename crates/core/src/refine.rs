@@ -20,6 +20,7 @@
 //! exchange sequence — and the final mapping — is bit-identical to the
 //! serial sweep for every thread count.
 
+use crate::obs;
 use crate::par::{Executor, Parallelism};
 use crate::{Mapper, Mapping};
 use topomap_taskgraph::{TaskGraph, TaskId};
@@ -180,6 +181,10 @@ pub fn refine_mapping_with(
     max_passes: usize,
     par: Parallelism,
 ) -> usize {
+    let _sweep_span = obs::span("refine.sweep");
+    // Sampled once so the counters emitted at the end are all-or-nothing
+    // for this run (internally consistent even if toggled mid-run).
+    let prof = obs::enabled();
     let exec = Executor::new(par);
     let n = tasks.num_tasks();
     let p = topo.num_nodes();
@@ -194,8 +199,15 @@ pub fn refine_mapping_with(
     let min_window = 64 * exec.threads().max(1);
     let max_window = 4096 * exec.threads().max(1);
 
+    // Counters derived from the serial-semantics bookkeeping (cursor/hit)
+    // on the main thread, so they are thread-invariant by construction:
+    // rejected counts exactly the candidates the *serial* sweep would have
+    // evaluated and declined, not the speculative extras workers touched.
+    let (mut c_acc, mut c_rej) = (0u64, 0u64);
+    let mut passes_run = 0u64;
     let mut accepted = 0usize;
     for _ in 0..max_passes {
+        passes_run += 1;
         let mut improved = false;
         let mut cursor = 0usize;
         let mut window = min_window;
@@ -216,7 +228,19 @@ pub fn refine_mapping_with(
                 .min();
             match hit {
                 Some(i) => {
-                    match cands.get(i) {
+                    let c = cands.get(i);
+                    if prof {
+                        c_rej += (i - cursor) as u64;
+                        c_acc += 1;
+                        // Pure re-evaluation against the pre-swap mapping:
+                        // cannot perturb the refinement itself.
+                        let d = match c {
+                            Candidate::Swap(a, b) => swap_delta(tasks, topo, m, a, b),
+                            Candidate::Move(a, q) => move_delta(tasks, topo, m, a, q),
+                        };
+                        obs::series_push("refine.delta_hb", d);
+                    }
+                    match c {
                         Candidate::Swap(a, b) => m.swap_tasks(a, b),
                         Candidate::Move(a, q) => m.move_task(a, q),
                     }
@@ -226,6 +250,9 @@ pub fn refine_mapping_with(
                     window = min_window;
                 }
                 None => {
+                    if prof {
+                        c_rej += (end - cursor) as u64;
+                    }
                     cursor = end;
                     window = (window * 2).min(max_window);
                 }
@@ -235,12 +262,22 @@ pub fn refine_mapping_with(
             break;
         }
     }
+    if prof {
+        obs::counter_add("refine.candidates_evaluated", c_acc + c_rej);
+        obs::counter_add("refine.swaps_accepted", c_acc);
+        obs::counter_add("refine.swaps_rejected", c_rej);
+        obs::counter_add("refine.passes", passes_run);
+    }
     accepted
 }
 
 impl<M: Mapper> Mapper for RefineTopoLb<M> {
     fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
-        let mut m = self.inner.map(tasks, topo);
+        let _map_span = obs::span("refine.map");
+        let mut m = {
+            let _initial_span = obs::span("refine.initial");
+            self.inner.map(tasks, topo)
+        };
         refine_mapping_with(tasks, topo, &mut m, self.max_passes, self.par);
         m
     }

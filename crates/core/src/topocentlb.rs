@@ -13,6 +13,7 @@
 //! insertions (stale entries are skipped on pop), giving the stated
 //! O(p·|Et|) total running time dominated by the processor scan.
 
+use crate::obs;
 use crate::{Mapper, Mapping};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -53,6 +54,7 @@ impl Mapper for TopoCentLb {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
+        let _map_span = obs::span("topocentlb.map");
 
         let mut proc_of = vec![usize::MAX; n];
         let mut placed = vec![false; n];
@@ -61,39 +63,50 @@ impl Mapper for TopoCentLb {
         // comm_assigned[t] = total communication of t with placed tasks.
         let mut comm_assigned = vec![0f64; n];
         let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n * 2);
+        let (mut pushes, mut pops, mut stale) = (0u64, 0u64, 0u64);
 
-        // First selection: the most communicating task overall; it goes to
-        // the topology center (the processor with minimum average distance
-        // — the natural seed for growing a compact region).
-        let first = (0..n)
-            .max_by(|&a, &b| {
-                tasks
-                    .weighted_degree(a)
-                    .partial_cmp(&tasks.weighted_degree(b))
-                    .unwrap()
-                    .then(b.cmp(&a))
-            })
-            .expect("non-empty task graph");
-        let center = AvgDistTable::new(topo).center();
-        proc_of[first] = center;
-        placed[first] = true;
-        free[center] = false;
-        for (j, c) in tasks.neighbors(first) {
-            comm_assigned[j] += c;
-            heap.push(Entry {
-                key: comm_assigned[j],
-                task: j,
-            });
+        {
+            let _seed_span = obs::span("topocentlb.seed");
+            // First selection: the most communicating task overall; it goes
+            // to the topology center (the processor with minimum average
+            // distance — the natural seed for growing a compact region).
+            let first = (0..n)
+                .max_by(|&a, &b| {
+                    tasks
+                        .weighted_degree(a)
+                        .partial_cmp(&tasks.weighted_degree(b))
+                        .unwrap()
+                        .then(b.cmp(&a))
+                })
+                .expect("non-empty task graph");
+            let center = AvgDistTable::new(topo).center();
+            proc_of[first] = center;
+            placed[first] = true;
+            free[center] = false;
+            for (j, c) in tasks.neighbors(first) {
+                comm_assigned[j] += c;
+                heap.push(Entry {
+                    key: comm_assigned[j],
+                    task: j,
+                });
+                pushes += 1;
+            }
         }
 
+        let _place_span = obs::span("topocentlb.place");
         for _ in 1..n {
             // Pop the max-communication unplaced task; skip stale entries.
             let t = loop {
                 match heap.pop() {
                     Some(Entry { key, task }) if !placed[task] && key == comm_assigned[task] => {
-                        break Some(task)
+                        pops += 1;
+                        break Some(task);
                     }
-                    Some(_) => continue,
+                    Some(_) => {
+                        pops += 1;
+                        stale += 1;
+                        continue;
+                    }
                     None => break None,
                 }
             };
@@ -128,9 +141,14 @@ impl Mapper for TopoCentLb {
                         key: comm_assigned[j],
                         task: j,
                     });
+                    pushes += 1;
                 }
             }
         }
+        obs::counter_add("topocentlb.heap_pushes", pushes);
+        obs::counter_add("topocentlb.heap_pops", pops);
+        obs::counter_add("topocentlb.stale_pops", stale);
+        obs::counter_add("topocentlb.placements", n as u64);
         Mapping::new(proc_of, p)
     }
 

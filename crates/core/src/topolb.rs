@@ -10,6 +10,7 @@
 //! critical.
 
 use crate::estimation::{EstimationOrder, EstimationState};
+use crate::obs;
 use crate::par::Parallelism;
 use crate::{Mapper, Mapping};
 use topomap_taskgraph::TaskGraph;
@@ -52,14 +53,20 @@ impl Mapper for TopoLb {
     fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
         let n = tasks.num_tasks();
         let p = topo.num_nodes();
+        let _map_span = obs::span("topolb.map");
+        if obs::enabled() {
+            obs::counter_add(&format!("topolb.order.{}", self.order.label()), 1);
+        }
         let mut state = EstimationState::with_parallelism(tasks, topo, self.order, self.par);
         let mut proc_of = vec![usize::MAX; n];
+        let _place_span = obs::span("topolb.place");
         for _ in 0..n {
-            let t = state.select_task();
+            let t = obs::time_counter("topolb.select_ns", || state.select_task());
             let q = state.best_proc(t);
             proc_of[t] = q;
-            state.assign(t, q);
+            obs::time_counter("topolb.assign_ns", || state.assign(t, q));
         }
+        obs::counter_add("topolb.placements", n as u64);
         Mapping::new(proc_of, p)
     }
 

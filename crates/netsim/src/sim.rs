@@ -6,11 +6,11 @@
 //! frees earliest — modeling adaptive virtual-channel selection).
 
 use crate::config::{NetworkConfig, NicModel, RoutingMode, Switching};
-use crate::stats::SimStats;
+use crate::stats::{LinkAccounting, SimStats};
 use crate::trace::{Trace, TraceOp};
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
-use topomap_core::Mapping;
+use topomap_core::{obs, Mapping};
 use topomap_taskgraph::TaskId;
 use topomap_topology::{Link, NodeId, RoutedTopology};
 
@@ -96,7 +96,12 @@ impl Simulation {
         trace: &Trace,
         mapping: &Mapping,
     ) -> SimStats {
-        Engine::new(topo, cfg, trace, mapping).run()
+        let _run_span = obs::span("netsim.run");
+        let engine = {
+            let _setup_span = obs::span("netsim.setup");
+            Engine::new(topo, cfg, trace, mapping)
+        };
+        engine.run()
     }
 }
 
@@ -111,8 +116,9 @@ struct Engine<'a> {
     link_index: HashMap<Link, u32>,
     /// Time each directed link becomes free.
     link_free: Vec<u64>,
-    /// Accumulated busy time per link (for utilization stats).
-    link_busy: Vec<u64>,
+    /// Per-link busy time, bytes, and queueing (utilization stats and
+    /// the contention heatmap export).
+    acct: LinkAccounting,
     /// Relative speed factor per link (1.0 = nominal bandwidth).
     link_speed: Vec<f64>,
     /// Per-processor NIC injection channel (SharedChannel model).
@@ -127,6 +133,10 @@ struct Engine<'a> {
     local_delivered: u64,
     bytes_delivered: u64,
     hop_sum: u64,
+    /// Σ bytes × hops over delivered network messages — accumulated at
+    /// delivery, independently of the per-link ledger, so the two can be
+    /// cross-checked (Σ link bytes must equal this).
+    bytes_hops: u64,
     last_time: u64,
 }
 
@@ -173,7 +183,7 @@ impl<'a> Engine<'a> {
             links,
             link_index,
             link_free: vec![0; n_links],
-            link_busy: vec![0; n_links],
+            acct: LinkAccounting::new(n_links),
             link_speed,
             inject_free: vec![0; topo.num_nodes()],
             eject_free: vec![0; topo.num_nodes()],
@@ -186,6 +196,7 @@ impl<'a> Engine<'a> {
             local_delivered: 0,
             bytes_delivered: 0,
             hop_sum: 0,
+            bytes_hops: 0,
             last_time: 0,
         }
     }
@@ -197,12 +208,15 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> SimStats {
+        let events_span = obs::span("netsim.events");
         // Kick off every task at t = 0.
         for t in 0..self.trace.num_tasks() {
             self.push(0, EventKind::Resume { task: t });
         }
 
+        let mut events_processed = 0u64;
         while let Some(Reverse(ev)) = self.events.pop() {
+            events_processed += 1;
             self.last_time = ev.time;
             match ev.kind {
                 EventKind::Resume { task } => self.advance(task, ev.time),
@@ -211,6 +225,9 @@ impl<'a> Engine<'a> {
                 EventKind::Deliver { msg } => self.handle_deliver(msg, ev.time),
             }
         }
+        drop(events_span);
+        let _agg_span = obs::span("netsim.aggregate");
+        obs::counter_add("netsim.events", events_processed);
 
         // Deadlock / starvation check: every task must have finished.
         let stuck: Vec<usize> = self
@@ -232,10 +249,25 @@ impl<'a> Engine<'a> {
             .max()
             .unwrap_or(0);
 
-        let used_links = self.link_busy.iter().filter(|&&b| b > 0).count();
-        let max_busy = self.link_busy.iter().copied().max().unwrap_or(0);
-        let total_busy: u64 = self.link_busy.iter().sum();
         let delivered = self.latencies.len() as u64;
+        if obs::enabled() {
+            obs::counter_add("netsim.messages.network", delivered);
+            obs::counter_add("netsim.messages.local", self.local_delivered);
+            obs::counter_add("netsim.bytes_delivered", self.bytes_delivered);
+            obs::counter_add("netsim.bytes_hops", self.bytes_hops);
+            obs::counter_add("netsim.queue_events", self.acct.queue_events());
+            obs::counter_add("netsim.queue_wait_ns", self.acct.queue_wait_ns());
+            // Contention heatmap: one observation per directed link, in
+            // `RoutedTopology::links()` order.
+            obs::series_extend(
+                "netsim.link_bytes",
+                self.acct.bytes_slice().iter().map(|&b| b as f64),
+            );
+            obs::series_extend(
+                "netsim.link_busy_ns",
+                self.acct.busy_slice().iter().map(|&b| b as f64),
+            );
+        }
         self.latencies.sort_unstable();
         let pct = |q: f64| -> u64 {
             if self.latencies.is_empty() {
@@ -264,17 +296,9 @@ impl<'a> Engine<'a> {
             } else {
                 0.0
             },
-            max_link_utilization: if completion_ns > 0 {
-                max_busy as f64 / completion_ns as f64
-            } else {
-                0.0
-            },
-            avg_link_utilization: if completion_ns > 0 && !self.links.is_empty() {
-                total_busy as f64 / (completion_ns as f64 * self.links.len() as f64)
-            } else {
-                0.0
-            },
-            used_links,
+            max_link_utilization: self.acct.max_utilization(completion_ns),
+            avg_link_utilization: self.acct.avg_utilization(completion_ns),
+            used_links: self.acct.used_links(),
             total_links: self.links.len(),
         }
     }
@@ -400,7 +424,7 @@ impl<'a> Engine<'a> {
         let ser = self.link_ser(li, m.bytes);
         let start = now.max(self.link_free[li]);
         self.link_free[li] = start + ser;
-        self.link_busy[li] += ser;
+        self.acct.on_transfer(li, ser, m.bytes, start - now);
         // Wormhole backpressure: while this message waited for (and now
         // streams over) the current link, its body kept the upstream link
         // occupied — the tail leaves that link only at `start + ser`.
@@ -409,7 +433,7 @@ impl<'a> Engine<'a> {
                 let pl = pl as usize;
                 let extended = start + ser;
                 if extended > self.link_free[pl] {
-                    self.link_busy[pl] += extended - self.link_free[pl];
+                    self.acct.extend_busy(pl, extended - self.link_free[pl]);
                     self.link_free[pl] = extended;
                 }
             }
@@ -451,7 +475,7 @@ impl<'a> Engine<'a> {
                 let ll = ll as usize;
                 let extended = start + ser;
                 if extended > self.link_free[ll] {
-                    self.link_busy[ll] += extended - self.link_free[ll];
+                    self.acct.extend_busy(ll, extended - self.link_free[ll]);
                     self.link_free[ll] = extended;
                 }
             }
@@ -470,6 +494,7 @@ impl<'a> Engine<'a> {
         if hops > 0 {
             self.latencies.push(now - inject_ns);
             self.hop_sum += hops as u64;
+            self.bytes_hops += bytes * hops as u64;
         } else {
             self.local_delivered += 1;
         }

@@ -1,0 +1,339 @@
+//! Instrumentation-invariance suite: the observability layer must be
+//! **provably non-perturbing**. For every mapper, every topology family,
+//! and thread counts {1, 4}, a run with recording ON must produce a
+//! bit-identical result to the same run with recording OFF — and the
+//! counters it emits must be internally consistent and thread-invariant.
+//!
+//! The recorder is process-global, so every test that toggles it holds
+//! [`OBS_LOCK`] for its whole body (Rust's test harness runs tests in
+//! parallel threads of one process).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use topomap::core::obs;
+use topomap::netsim::trace::stencil_trace;
+use topomap::prelude::*;
+use topomap::taskgraph::gen;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` with the recorder on and hand back its result plus the report.
+/// Callers must hold [`OBS_LOCK`].
+fn recorded<R>(f: impl FnOnce() -> R) -> (R, obs::Report) {
+    obs::start();
+    let r = f();
+    (r, obs::finish())
+}
+
+/// A `Parallelism` that takes the threaded path even on tiny inputs.
+fn eager(threads: usize) -> Parallelism {
+    Parallelism {
+        threads: Threads::Fixed(threads),
+        min_work: 1,
+    }
+}
+
+fn arb_task_graph() -> impl Strategy<Value = TaskGraph> {
+    (4usize..=16, 0.5f64..4.0, any::<u64>())
+        .prop_map(|(n, deg, seed)| gen::random_graph(n, deg.min(n as f64 - 1.0), 1.0, 1000.0, seed))
+}
+
+/// One topology of each family: 2-D torus, hypercube, ring
+/// (GraphTopology), and a distance-cached torus (CachedTopology).
+fn topology_for(idx: usize, min_nodes: usize) -> Box<dyn Topology> {
+    match idx {
+        0 => {
+            let side = (min_nodes as f64).sqrt().ceil() as usize;
+            Box::new(Torus::torus_2d(side, side))
+        }
+        1 => {
+            let dims = (min_nodes as f64).log2().ceil() as u32;
+            Box::new(Hypercube::new(dims.max(1)))
+        }
+        2 => Box::new(GraphTopology::ring(min_nodes)),
+        _ => {
+            let side = (min_nodes as f64).sqrt().ceil() as usize;
+            Box::new(CachedTopology::new(Torus::torus_2d(side, side)))
+        }
+    }
+}
+
+const ORDERS: [EstimationOrder; 3] = [
+    EstimationOrder::First,
+    EstimationOrder::Second,
+    EstimationOrder::Third,
+];
+
+fn counter(r: &obs::Report, name: &str) -> u64 {
+    r.counter(name).unwrap_or(0)
+}
+
+/// The TopoLB/estimation counter identities for an `n`-task placement:
+/// one assign per task, and after the k-th assign every one of the
+/// `n - k` still-unassigned tasks gets its fest recomputed exactly once
+/// (full rescan or incremental), so the paths sum to n(n-1)/2.
+fn check_topolb_counters(r: &obs::Report, n: u64, order: EstimationOrder) {
+    assert_eq!(counter(r, "topolb.placements"), n);
+    assert_eq!(counter(r, "estimation.assigns"), n);
+    let full = counter(r, "estimation.fest_full_scan");
+    let fast = counter(r, "estimation.fest_incremental");
+    assert_eq!(full + fast, n * (n - 1) / 2, "order {order:?}");
+    if order == EstimationOrder::Third {
+        assert_eq!(fast, 0, "third order always rescans in full");
+    }
+    assert_eq!(counter(r, &format!("topolb.order.{}", order.label())), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// TopoLB: recording ON is bit-identical to OFF at 1 and 4 threads,
+    /// the estimation counters obey their closed forms, and every
+    /// algorithm counter is identical across thread counts.
+    #[test]
+    fn topolb_recording_is_invisible(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+        order_idx in 0usize..3,
+    ) {
+        let _l = obs_guard();
+        let topo = topology_for(topo_idx, 25);
+        let order = ORDERS[order_idx];
+        let n = g.num_tasks() as u64;
+
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let mapper = TopoLb::with_parallelism(order, eager(threads));
+            obs::disable();
+            let off = mapper.map(&g, topo.as_ref());
+            let (on, report) = recorded(|| mapper.map(&g, topo.as_ref()));
+            prop_assert_eq!(&off, &on, "ON differs from OFF at {} threads", threads);
+            check_topolb_counters(&report, n, order);
+            reports.push(report);
+        }
+        // Thread-count invariance of the algorithm counters (the par.*
+        // and *_ns counters legitimately differ).
+        for name in [
+            "topolb.placements",
+            "estimation.assigns",
+            "estimation.fest_full_scan",
+            "estimation.fest_incremental",
+        ] {
+            prop_assert_eq!(
+                reports[0].counter(name), reports[1].counter(name),
+                "counter {} depends on thread count", name
+            );
+        }
+    }
+
+    /// RefineTopoLB: ON == OFF, accepted + rejected == evaluated, the
+    /// delta-HB trajectory has one sample per accepted exchange, and the
+    /// refine counters are thread-invariant.
+    #[test]
+    fn refine_recording_is_invisible(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+    ) {
+        let _l = obs_guard();
+        let topo = topology_for(topo_idx, 25);
+
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let mapper = RefineTopoLb::with_parallelism(
+                TopoLb::with_parallelism(EstimationOrder::Second, eager(threads)),
+                eager(threads),
+            );
+            obs::disable();
+            let off = mapper.map(&g, topo.as_ref());
+            let (on, report) = recorded(|| mapper.map(&g, topo.as_ref()));
+            prop_assert_eq!(&off, &on, "ON differs from OFF at {} threads", threads);
+
+            let acc = counter(&report, "refine.swaps_accepted");
+            let rej = counter(&report, "refine.swaps_rejected");
+            prop_assert_eq!(counter(&report, "refine.candidates_evaluated"), acc + rej);
+            let trajectory = report.series("refine.delta_hb").map_or(0, |s| s.count);
+            prop_assert_eq!(trajectory, acc, "one delta sample per acceptance");
+            // Every accepted exchange strictly improves hop-bytes.
+            if let Some(s) = report.series("refine.delta_hb") {
+                prop_assert!(s.values.iter().all(|&d| d < 0.0), "{:?}", s.values);
+            }
+            reports.push(report);
+        }
+        for name in [
+            "refine.candidates_evaluated",
+            "refine.swaps_accepted",
+            "refine.swaps_rejected",
+            "refine.passes",
+        ] {
+            prop_assert_eq!(
+                reports[0].counter(name), reports[1].counter(name),
+                "counter {} depends on thread count", name
+            );
+        }
+    }
+
+    /// TopoCentLB: ON == OFF; the heap ledger is ordered
+    /// stale <= pops <= pushes and places every task.
+    #[test]
+    fn topocentlb_recording_is_invisible(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+    ) {
+        let _l = obs_guard();
+        let topo = topology_for(topo_idx, 25);
+        obs::disable();
+        let off = TopoCentLb.map(&g, topo.as_ref());
+        let (on, report) = recorded(|| TopoCentLb.map(&g, topo.as_ref()));
+        prop_assert_eq!(&off, &on);
+        prop_assert_eq!(counter(&report, "topocentlb.placements"), g.num_tasks() as u64);
+        let pushes = counter(&report, "topocentlb.heap_pushes");
+        let pops = counter(&report, "topocentlb.heap_pops");
+        let stale = counter(&report, "topocentlb.stale_pops");
+        prop_assert!(stale <= pops, "stale {stale} > pops {pops}");
+        prop_assert!(pops <= pushes, "pops {pops} > pushes {pushes}");
+    }
+
+    /// The stochastic mappers: ON == OFF with the same seed, and the
+    /// proposal/fitness ledgers balance exactly.
+    #[test]
+    fn stochastic_recording_is_invisible(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let _l = obs_guard();
+        let topo = topology_for(topo_idx, 25);
+
+        let sa = SimulatedAnnealingMap { par: eager(4), ..SimulatedAnnealingMap::quick(seed) };
+        obs::disable();
+        let off = sa.map(&g, topo.as_ref());
+        let (on, report) = recorded(|| sa.map(&g, topo.as_ref()));
+        prop_assert_eq!(&off, &on, "SA perturbed by recording");
+        if let Some(proposals) = report.counter("anneal.proposals") {
+            // (Edgeless graphs return before the search loop and emit
+            // nothing — the mapping equality above still covers them.)
+            let acc = counter(&report, "anneal.accepted");
+            let rej = counter(&report, "anneal.rejected");
+            let voided = counter(&report, "anneal.voided");
+            prop_assert_eq!(acc + rej + voided, proposals, "proposal ledger leak");
+            prop_assert_eq!(
+                proposals,
+                counter(&report, "anneal.temp_steps") * sa.moves_per_temp as u64
+            );
+            let hb_samples = report.series("anneal.hb").map_or(0, |s| s.count);
+            prop_assert_eq!(hb_samples, counter(&report, "anneal.temp_steps"));
+        }
+
+        let ga = GeneticMap { par: eager(4), generations: 8, ..GeneticMap::quick(seed) };
+        obs::disable();
+        let off = ga.map(&g, topo.as_ref());
+        let (on, report) = recorded(|| ga.map(&g, topo.as_ref()));
+        prop_assert_eq!(&off, &on, "GA perturbed by recording");
+        prop_assert_eq!(
+            counter(&report, "genetic.fitness_evaluations"),
+            counter(&report, "genetic.initial_pop") + counter(&report, "genetic.children_bred"),
+            "every genome scored exactly once"
+        );
+        prop_assert_eq!(counter(&report, "genetic.generations"), 8);
+        let best = report.series("genetic.best_hb").map_or(0, |s| s.count);
+        prop_assert_eq!(best, 8, "one best-fitness sample per generation");
+    }
+
+    /// The baseline mappers carry no instrumentation but must still be
+    /// byte-identical under recording (they share the metric kernels).
+    #[test]
+    fn baseline_mappers_recording_is_invisible(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let _l = obs_guard();
+        let topo = topology_for(topo_idx, 25);
+        for mapper in [
+            Box::new(RandomMap::new(seed)) as Box<dyn Mapper>,
+            Box::new(IdentityMap),
+        ] {
+            obs::disable();
+            let off = mapper.map(&g, topo.as_ref());
+            let (on, _) = recorded(|| mapper.map(&g, topo.as_ref()));
+            prop_assert_eq!(&off, &on, "{} perturbed by recording", mapper.name());
+        }
+    }
+
+    /// Netsim: recording must not shift a single simulated nanosecond,
+    /// and the per-link byte heatmap must sum to the independently
+    /// accumulated bytes x hops ledger.
+    #[test]
+    fn netsim_recording_is_invisible(
+        rx in 2usize..=4,
+        ry in 2usize..=4,
+        iters in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let _l = obs_guard();
+        let g = gen::stencil2d(rx, ry, 2048.0, false);
+        let topo = Torus::torus_2d(rx, ry);
+        let m = RandomMap::new(seed).map(&g, &topo);
+        let tr = stencil_trace(&g, iters, 1_000);
+        let cfg = NetworkConfig::default();
+
+        obs::disable();
+        let off = Simulation::run(&topo, &cfg, &tr, &m);
+        let (on, report) = recorded(|| Simulation::run(&topo, &cfg, &tr, &m));
+        prop_assert_eq!(&off, &on, "simulation perturbed by recording");
+
+        prop_assert!(counter(&report, "netsim.events") > 0);
+        prop_assert_eq!(
+            counter(&report, "netsim.messages.network") + counter(&report, "netsim.messages.local"),
+            off.network_messages + off.local_messages
+        );
+        // Two independent ledgers for realized hop-bytes: per-delivery
+        // (bytes x hops at delivery time) vs per-link (bytes charged on
+        // each link crossed). They must agree exactly.
+        let link_bytes: f64 = report
+            .series("netsim.link_bytes")
+            .map_or(0.0, |s| s.values.iter().sum());
+        prop_assert_eq!(link_bytes as u64, counter(&report, "netsim.bytes_hops"));
+        // The heatmap has one row per directed link of the machine.
+        let links = report.series("netsim.link_bytes").map_or(0, |s| s.count);
+        let busy = report.series("netsim.link_busy_ns").map_or(0, |s| s.count);
+        prop_assert_eq!(links, busy, "heatmap series must be parallel arrays");
+    }
+}
+
+/// A recording session that spans several mapper runs accumulates — the
+/// bench harness profiles whole experiment grids this way.
+#[test]
+fn counters_accumulate_across_runs_in_one_session() {
+    let _l = obs_guard();
+    let g = gen::stencil2d(4, 4, 100.0, false);
+    let topo = Torus::torus_2d(4, 4);
+    let mapper = TopoLb::default();
+    let (_, report) = recorded(|| {
+        mapper.map(&g, &topo);
+        mapper.map(&g, &topo);
+        mapper.map(&g, &topo);
+    });
+    assert_eq!(report.counter("topolb.placements"), Some(48));
+    assert_eq!(report.counter("estimation.assigns"), Some(48));
+}
+
+/// Toggling the recorder mid-run must never corrupt a later session:
+/// stale span guards from a previous generation are inert.
+#[test]
+fn stale_guards_from_a_previous_session_are_inert() {
+    let _l = obs_guard();
+    let g = gen::ring(8, 100.0);
+    let topo = Torus::torus_2d(3, 3);
+
+    obs::start();
+    let _leaked = obs::span("leaked.span");
+    // A fresh session begins while the guard above is still alive.
+    let (_, report) = recorded(|| TopoLb::default().map(&g, &topo));
+    assert!(report.find_span("leaked.span").is_none());
+    assert!(report.find_span("topolb.map").is_some());
+}
