@@ -17,6 +17,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_physopt",
     "exp_routing",
     "exp_profile",
+    "exp_scaling",
 ];
 
 fn main() {

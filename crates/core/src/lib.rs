@@ -45,10 +45,15 @@
 
 pub mod anneal;
 pub mod estimation;
+#[doc(hidden)]
+pub mod estimation_naive;
+pub mod estimation_uniform;
 pub mod genetic;
 pub mod hierarchy;
 pub mod linear;
 pub mod metrics;
+#[doc(hidden)]
+pub mod naive;
 pub mod obs;
 pub mod optimal;
 pub mod par;

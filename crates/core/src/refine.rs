@@ -9,16 +9,30 @@
 //! outnumber tasks, task→free-processor moves), accepting strictly
 //! improving exchanges, until a full sweep finds no improvement or the
 //! pass limit is hit. Swap gains are evaluated incrementally in O(δ(a) +
-//! δ(b)) from the hop-byte definition, so a sweep costs O(p²·δ̄).
+//! δ(b)) from the hop-byte definition.
 //!
-//! The sweep parallelizes by *windowed speculation*: workers evaluate a
-//! window of candidates in the exact serial enumeration order against
-//! the current (frozen) mapping, the main thread applies the first
-//! improving candidate and restarts the window just past it. Candidates
-//! before the first improvement are exactly those the serial sweep would
-//! have evaluated under the same mapping and rejected, so the accepted
-//! exchange sequence — and the final mapping — is bit-identical to the
-//! serial sweep for every thread count.
+//! Two layers keep the sweep off the quadratic cliff without changing its
+//! result:
+//!
+//! - **Dirty-set tracking** ([`DirtyTracker`]): `swap_delta(a, b)` depends
+//!   only on the placements of `{a, b} ∪ N(a) ∪ N(b)`, so an accepted
+//!   exchange of `(x, y)` can change the verdict only of candidates whose
+//!   relevant set meets `{x, y}` — exactly the tasks whose *epoch* the
+//!   tracker bumps. A candidate whose tasks (and, for moves, target
+//!   processor) are untouched since the start of the previous pass was
+//!   already evaluated there (or skipped by the same argument) against an
+//!   identical delta and provably still rejects, so later passes evaluate
+//!   only the dirty frontier of the previous pass's accepts.
+//! - **Windowed speculation**: workers evaluate a window of the filtered
+//!   candidate stream in serial enumeration order against the current
+//!   (frozen) mapping; the main thread applies the first improving
+//!   candidate and restarts the stream just past it.
+//!
+//! Skipped candidates are provably rejecting and evaluated candidates are
+//! exactly those the serial full sweep would reject before the next
+//! accept, so the accepted exchange sequence — and the final mapping — is
+//! bit-identical to the naive full sweep ([`refine_mapping_naive`], the
+//! differential-suite oracle) for every thread count.
 
 use crate::obs;
 use crate::par::{Executor, Parallelism};
@@ -29,7 +43,7 @@ use topomap_topology::Topology;
 /// Pairwise-swap hop-byte refiner wrapping an inner mapper.
 pub struct RefineTopoLb<M> {
     inner: M,
-    /// Maximum full sweeps (each sweep is O(p²) pair evaluations).
+    /// Maximum full sweeps (each sweep covers all task pairs).
     pub max_passes: usize,
     /// Thread configuration for the candidate scans (result-invariant).
     pub par: Parallelism,
@@ -108,48 +122,6 @@ enum Candidate {
     Move(TaskId, usize),
 }
 
-/// Bijection between flat candidate indices and candidates. `seg` is the
-/// number of candidates per leading task `a`: `(n - 1 - a)` swaps plus
-/// (if `p > n`) `p` move targets.
-struct Candidates {
-    n: usize,
-    moves: bool,
-    /// `offsets[a]` = flat index of task `a`'s first candidate.
-    offsets: Vec<usize>,
-}
-
-impl Candidates {
-    fn new(n: usize, p: usize) -> Self {
-        let moves = p > n;
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        for a in 0..n {
-            offsets.push(acc);
-            acc += (n - 1 - a) + if moves { p } else { 0 };
-        }
-        offsets.push(acc);
-        Candidates { n, moves, offsets }
-    }
-
-    fn total(&self) -> usize {
-        self.offsets[self.n]
-    }
-
-    fn get(&self, idx: usize) -> Candidate {
-        // partition_point returns the first a with offsets[a] > idx; the
-        // candidate's leading task is the one before it.
-        let a = self.offsets.partition_point(|&o| o <= idx) - 1;
-        let within = idx - self.offsets[a];
-        let swaps = self.n - 1 - a;
-        if within < swaps {
-            Candidate::Swap(a, a + 1 + within)
-        } else {
-            debug_assert!(self.moves);
-            Candidate::Move(a, within - swaps)
-        }
-    }
-}
-
 /// Whether the serial sweep would accept `c` under the current mapping.
 fn improves(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, c: Candidate) -> bool {
     match c {
@@ -158,6 +130,92 @@ fn improves(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, c: Candidate) -
             m.task_on(q).is_none() && move_delta(tasks, topo, m, a, q) < -1e-12
         }
     }
+}
+
+/// Epoch bookkeeping for the dirty-set sweep.
+///
+/// `task_epoch(t)` is the generation of the last accepted exchange whose
+/// delta-relevant set `{x, y} ∪ N(x) ∪ N(y)` contained `t`;
+/// `proc_epoch(q)` the generation of the last accepted exchange that
+/// changed processor `q`'s occupancy (only moves do). A swap candidate
+/// `(a, b)` is *clean* w.r.t. a threshold generation `s` iff both task
+/// epochs are ≤ `s` — its delta is bit-identical to what it was at any
+/// evaluation at generation ≥ `s`. Hidden but public: the dirty-set unit
+/// tests audit it against a brute-force affected-set computation.
+#[doc(hidden)]
+pub struct DirtyTracker {
+    epoch: Vec<u64>,
+    proc_epoch: Vec<u64>,
+    g: u64,
+}
+
+impl DirtyTracker {
+    pub fn new(num_tasks: usize, num_procs: usize) -> Self {
+        // Generation 1 with threshold 0 marks everything dirty: the first
+        // pass is always a full sweep.
+        DirtyTracker {
+            epoch: vec![1; num_tasks],
+            proc_epoch: vec![1; num_procs],
+            g: 1,
+        }
+    }
+
+    /// Current generation (bumped once per accepted exchange).
+    pub fn generation(&self) -> u64 {
+        self.g
+    }
+
+    pub fn task_epoch(&self, t: TaskId) -> u64 {
+        self.epoch[t]
+    }
+
+    pub fn proc_epoch(&self, q: usize) -> u64 {
+        self.proc_epoch[q]
+    }
+
+    /// Record an accepted swap of `a` and `b`: their own deltas and those
+    /// of every candidate touching a neighbor changed.
+    pub fn record_swap(&mut self, tasks: &TaskGraph, a: TaskId, b: TaskId) {
+        self.g += 1;
+        let g = self.g;
+        self.epoch[a] = g;
+        self.epoch[b] = g;
+        for (j, _) in tasks.neighbors(a) {
+            self.epoch[j] = g;
+        }
+        for (j, _) in tasks.neighbors(b) {
+            self.epoch[j] = g;
+        }
+    }
+
+    /// Record an accepted move of `t` from `from_q` to `to_q`: besides
+    /// the task epochs, both processors changed occupancy.
+    pub fn record_move(&mut self, tasks: &TaskGraph, t: TaskId, from_q: usize, to_q: usize) {
+        self.g += 1;
+        let g = self.g;
+        self.epoch[t] = g;
+        for (j, _) in tasks.neighbors(t) {
+            self.epoch[j] = g;
+        }
+        self.proc_epoch[from_q] = g;
+        self.proc_epoch[to_q] = g;
+    }
+
+    pub fn swap_is_clean(&self, a: TaskId, b: TaskId, s: u64) -> bool {
+        self.epoch[a] <= s && self.epoch[b] <= s
+    }
+
+    pub fn move_is_clean(&self, t: TaskId, q: usize, s: u64) -> bool {
+        self.epoch[t] <= s && self.proc_epoch[q] <= s
+    }
+}
+
+/// Position in the serial candidate enumeration: row `a`, next swap
+/// partner `b`, next move target `q` (moves follow all of a row's swaps).
+struct SweepCursor {
+    a: usize,
+    b: usize,
+    q: usize,
 }
 
 /// Refine an existing mapping in place; returns the number of accepted
@@ -188,8 +246,7 @@ pub fn refine_mapping_with(
     let exec = Executor::new(par);
     let n = tasks.num_tasks();
     let p = topo.num_nodes();
-    let cands = Candidates::new(n, p);
-    let total = cands.total();
+    let moves = p > n;
     // Candidate evaluation is O(δ̄); used for the serial-fallback check.
     let wpi = 1 + 2 * tasks.num_edges() / n.max(1);
     // Window sizing: small after an accepted exchange (the next
@@ -199,39 +256,117 @@ pub fn refine_mapping_with(
     let min_window = 64 * exec.threads().max(1);
     let max_window = 4096 * exec.threads().max(1);
 
-    // Counters derived from the serial-semantics bookkeeping (cursor/hit)
-    // on the main thread, so they are thread-invariant by construction:
-    // rejected counts exactly the candidates the *serial* sweep would have
-    // evaluated and declined, not the speculative extras workers touched.
-    let (mut c_acc, mut c_rej) = (0u64, 0u64);
+    let mut dirty = DirtyTracker::new(n, p);
+    // Clean threshold: a candidate untouched since the start of the
+    // *previous* pass was evaluated (or skipped, inductively) there
+    // against a bit-identical delta and still rejects. 0 = nothing clean.
+    let mut s: u64 = 0;
+
+    // All candidate bookkeeping (filtering, accept/reject counting) runs
+    // on the main thread in serial enumeration order, so the counters are
+    // thread-invariant by construction: rejected counts exactly the
+    // candidates the dirty serial sweep would evaluate and decline, not
+    // the speculative extras workers touched.
+    let (mut c_acc, mut c_rej, mut c_skip) = (0u64, 0u64, 0u64);
     let mut passes_run = 0u64;
     let mut accepted = 0usize;
+    let mut batch: Vec<Candidate> = Vec::new();
     for _ in 0..max_passes {
         passes_run += 1;
+        let pass_start_g = dirty.generation();
         let mut improved = false;
-        let mut cursor = 0usize;
+
+        // Ascending dirty id lists: a clean row's candidates against clean
+        // partners are skipped wholesale without touching them.
+        let mut dirty_tasks: Vec<TaskId> = (0..n).filter(|&t| dirty.task_epoch(t) > s).collect();
+        let mut dirty_procs: Vec<usize> = if moves {
+            (0..p).filter(|&q| dirty.proc_epoch(q) > s).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut cur = SweepCursor { a: 0, b: 1, q: 0 };
         let mut window = min_window;
-        while cursor < total {
-            let end = (cursor + window).min(total);
-            // First improving candidate in [cursor, end), if any: each
-            // worker takes its chunk's first hit, the min over chunks is
-            // the global first — independent of the chunking.
+        loop {
+            // Fill the next window of the filtered stream in serial order.
+            batch.clear();
+            while batch.len() < window && cur.a < n {
+                let a = cur.a;
+                if dirty.task_epoch(a) > s {
+                    // Dirty row: every remaining candidate evaluates.
+                    while cur.b < n && batch.len() < window {
+                        batch.push(Candidate::Swap(a, cur.b));
+                        cur.b += 1;
+                    }
+                    if cur.b >= n && moves {
+                        while cur.q < p && batch.len() < window {
+                            batch.push(Candidate::Move(a, cur.q));
+                            cur.q += 1;
+                        }
+                    }
+                } else {
+                    // Clean row: only dirty partners can have changed.
+                    while cur.b < n && batch.len() < window {
+                        let i = dirty_tasks.partition_point(|&t| t < cur.b);
+                        match dirty_tasks.get(i) {
+                            Some(&t) => {
+                                c_skip += (t - cur.b) as u64;
+                                batch.push(Candidate::Swap(a, t));
+                                cur.b = t + 1;
+                            }
+                            None => {
+                                c_skip += (n - cur.b) as u64;
+                                cur.b = n;
+                            }
+                        }
+                    }
+                    if cur.b >= n && moves {
+                        while cur.q < p && batch.len() < window {
+                            let i = dirty_procs.partition_point(|&q| q < cur.q);
+                            match dirty_procs.get(i) {
+                                Some(&q) => {
+                                    c_skip += (q - cur.q) as u64;
+                                    batch.push(Candidate::Move(a, q));
+                                    cur.q = q + 1;
+                                }
+                                None => {
+                                    c_skip += (p - cur.q) as u64;
+                                    cur.q = p;
+                                }
+                            }
+                        }
+                    }
+                }
+                if cur.b >= n && (!moves || cur.q >= p) {
+                    cur.a += 1;
+                    cur.b = cur.a + 1;
+                    cur.q = 0;
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+
+            // First improving candidate in the window, if any: each worker
+            // takes its chunk's first hit, the min over chunks is the
+            // global first — independent of the chunking.
             let frozen = &*m;
+            let cands = &batch;
             let hit = exec
-                .map_chunks(end - cursor, wpi, |range| {
+                .map_chunks(cands.len(), wpi, |range| {
                     range
-                        .map(|i| cursor + i)
-                        .find(|&i| improves(tasks, topo, frozen, cands.get(i)))
+                        .clone()
+                        .find(|&k| improves(tasks, topo, frozen, cands[k]))
                 })
                 .into_iter()
                 .flatten()
                 .min();
             match hit {
-                Some(i) => {
-                    let c = cands.get(i);
+                Some(k) => {
+                    let c = batch[k];
+                    c_rej += k as u64;
+                    c_acc += 1;
                     if prof {
-                        c_rej += (i - cursor) as u64;
-                        c_acc += 1;
                         // Pure re-evaluation against the pre-swap mapping:
                         // cannot perturb the refinement itself.
                         let d = match c {
@@ -240,20 +375,38 @@ pub fn refine_mapping_with(
                         };
                         obs::series_push("refine.delta_hb", d);
                     }
+                    // Apply, bump epochs, and restart the stream just past
+                    // the accepted candidate; re-filtering the remainder
+                    // against the grown epochs picks up candidates this
+                    // exchange dirtied mid-pass.
                     match c {
-                        Candidate::Swap(a, b) => m.swap_tasks(a, b),
-                        Candidate::Move(a, q) => m.move_task(a, q),
+                        Candidate::Swap(a, b) => {
+                            m.swap_tasks(a, b);
+                            dirty.record_swap(tasks, a, b);
+                            cur = SweepCursor { a, b: b + 1, q: 0 };
+                        }
+                        Candidate::Move(a, q) => {
+                            let from = m.proc_of(a);
+                            m.move_task(a, q);
+                            dirty.record_move(tasks, a, from, q);
+                            cur = SweepCursor { a, b: n, q: q + 1 };
+                        }
+                    }
+                    if cur.b >= n && (!moves || cur.q >= p) {
+                        cur.a += 1;
+                        cur.b = cur.a + 1;
+                        cur.q = 0;
+                    }
+                    dirty_tasks = (0..n).filter(|&t| dirty.task_epoch(t) > s).collect();
+                    if moves {
+                        dirty_procs = (0..p).filter(|&q| dirty.proc_epoch(q) > s).collect();
                     }
                     accepted += 1;
                     improved = true;
-                    cursor = i + 1;
                     window = min_window;
                 }
                 None => {
-                    if prof {
-                        c_rej += (end - cursor) as u64;
-                    }
-                    cursor = end;
+                    c_rej += batch.len() as u64;
                     window = (window * 2).min(max_window);
                 }
             }
@@ -261,12 +414,56 @@ pub fn refine_mapping_with(
         if !improved {
             break;
         }
+        s = pass_start_g;
     }
     if prof {
         obs::counter_add("refine.candidates_evaluated", c_acc + c_rej);
+        obs::counter_add("refine.candidates_skipped", c_skip);
         obs::counter_add("refine.swaps_accepted", c_acc);
         obs::counter_add("refine.swaps_rejected", c_rej);
         obs::counter_add("refine.passes", passes_run);
+    }
+    accepted
+}
+
+/// The pre-rewrite semantics: a plain serial full sweep evaluating every
+/// candidate in enumeration order, no dirty tracking, no speculation, no
+/// obs output. The differential suite pins [`refine_mapping_with`]
+/// bit-identical to this for every thread count.
+#[doc(hidden)]
+pub fn refine_mapping_naive(
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    m: &mut Mapping,
+    max_passes: usize,
+) -> usize {
+    let n = tasks.num_tasks();
+    let p = topo.num_nodes();
+    let moves = p > n;
+    let mut accepted = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if improves(tasks, topo, m, Candidate::Swap(a, b)) {
+                    m.swap_tasks(a, b);
+                    accepted += 1;
+                    improved = true;
+                }
+            }
+            if moves {
+                for q in 0..p {
+                    if improves(tasks, topo, m, Candidate::Move(a, q)) {
+                        m.move_task(a, q);
+                        accepted += 1;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
     }
     accepted
 }
@@ -290,6 +487,7 @@ impl<M: Mapper> Mapper for RefineTopoLb<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par::Threads;
     use crate::{metrics, RandomMap, TopoCentLb, TopoLb};
     use topomap_taskgraph::gen;
     use topomap_topology::Torus;
@@ -387,6 +585,86 @@ mod tests {
             1,
             "refiner should colocate the pair at distance 1"
         );
+    }
+
+    /// Brute-force affected set of swapping (a, b): {a, b} ∪ N(a) ∪ N(b).
+    fn affected_set(tasks: &TaskGraph, a: TaskId, b: TaskId) -> Vec<TaskId> {
+        let mut set: Vec<TaskId> = vec![a, b];
+        set.extend(tasks.neighbors(a).map(|(j, _)| j));
+        set.extend(tasks.neighbors(b).map(|(j, _)| j));
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    #[test]
+    fn dirty_tracker_matches_bruteforce_affected_sets() {
+        // Scripted swap sequence on a graph with varied neighborhoods:
+        // after each recorded swap the tasks at the current generation
+        // must be exactly the brute-force affected-pairs set.
+        let tasks = gen::random_graph(14, 3.0, 1.0, 50.0, 21);
+        let mut dirty = DirtyTracker::new(14, 20);
+        let script = [(0usize, 5usize), (3, 9), (1, 2), (0, 13), (7, 8), (5, 6)];
+        for &(a, b) in &script {
+            let before_g = dirty.generation();
+            dirty.record_swap(&tasks, a, b);
+            assert_eq!(dirty.generation(), before_g + 1);
+            let want = affected_set(&tasks, a, b);
+            let got: Vec<TaskId> = (0..14)
+                .filter(|&t| dirty.task_epoch(t) == dirty.generation())
+                .collect();
+            assert_eq!(got, want, "dirty set after swap({a},{b})");
+            // Swaps never change processor occupancy.
+            assert!((0..20).all(|q| dirty.proc_epoch(q) == 1));
+        }
+        // A clean pair far from the last swap stays clean relative to the
+        // pre-swap generation; the swapped pair does not.
+        let s = dirty.generation() - 1;
+        assert!(!dirty.swap_is_clean(5, 6, s));
+        let untouched: Vec<TaskId> = (0..14).filter(|&t| dirty.task_epoch(t) <= s).collect();
+        if untouched.len() >= 2 {
+            assert!(dirty.swap_is_clean(untouched[0], untouched[1], s));
+        }
+    }
+
+    #[test]
+    fn dirty_tracker_moves_bump_proc_epochs() {
+        let tasks = gen::ring(6, 10.0);
+        let mut dirty = DirtyTracker::new(6, 12);
+        dirty.record_move(&tasks, 2, 4, 9);
+        let g = dirty.generation();
+        // Task side: {2} ∪ N(2) = {1, 2, 3}.
+        let got: Vec<TaskId> = (0..6).filter(|&t| dirty.task_epoch(t) == g).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        // Proc side: exactly the vacated and occupied processors.
+        let got_q: Vec<usize> = (0..12).filter(|&q| dirty.proc_epoch(q) == g).collect();
+        assert_eq!(got_q, vec![4, 9]);
+        assert!(!dirty.move_is_clean(5, 9, g - 1), "dirty target processor");
+        assert!(dirty.move_is_clean(5, 7, g - 1), "clean task, clean target");
+    }
+
+    #[test]
+    fn dirty_sweep_matches_naive_sweep() {
+        // The in-module smoke version of the differential suite: same
+        // graphs, the full windowed dirty sweep at 1 and 4 threads versus
+        // the serial full-enumeration oracle.
+        for (seed, n, (rows, cols)) in [(1u64, 24usize, (5usize, 5usize)), (2, 18, (4, 6))] {
+            let tasks = gen::random_graph(n, 3.0, 1.0, 100.0, seed);
+            let topo = Torus::torus_2d(rows, cols);
+            let base = RandomMap::new(seed).map(&tasks, &topo);
+            let mut want = base.clone();
+            let acc_naive = refine_mapping_naive(&tasks, &topo, &mut want, 8);
+            for threads in [1usize, 4] {
+                let par = Parallelism {
+                    threads: Threads::Fixed(threads),
+                    min_work: 1,
+                };
+                let mut got = base.clone();
+                let acc = refine_mapping_with(&tasks, &topo, &mut got, 8, par);
+                assert_eq!(acc, acc_naive, "accept count (seed {seed}, {threads}t)");
+                assert_eq!(got, want, "mapping (seed {seed}, {threads}t)");
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,14 @@
 //!
 //! Implemented with the paper's heap: selection pops the max-key task in
 //! O(log p); key updates for the popped task's neighbors are lazy
-//! insertions (stale entries are skipped on pop), giving the stated
-//! O(p·|Et|) total running time dominated by the processor scan.
+//! insertions (stale entries are skipped on pop). The first-order cost
+//! table is maintained **incrementally**: each task with a placed
+//! neighbor owns a pooled, positionally-indexed cost row over the free
+//! list, updated by one bulk distance column per placement (an *edge
+//! event* per unplaced neighbor), so placing a task folds one contiguous
+//! row instead of rescanning its adjacency for every free processor.
+//! The pre-rewrite full-rescan semantics live on as the differential
+//! oracle [`crate::naive::NaiveTopoCentLb`].
 
 use crate::obs;
 use crate::{Mapper, Mapping};
@@ -22,9 +28,9 @@ use topomap_topology::{stats::AvgDistTable, Topology};
 
 /// Heap entry ordered by (communication key, then lower task id).
 #[derive(Debug, PartialEq)]
-struct Entry {
-    key: f64,
-    task: TaskId,
+pub(crate) struct Entry {
+    pub(crate) key: f64,
+    pub(crate) task: TaskId,
 }
 
 impl Eq for Entry {}
@@ -45,6 +51,145 @@ impl PartialOrd for Entry {
     }
 }
 
+/// The most-communicating task (ties → lowest id): the seed selection,
+/// shared with the naive oracle.
+pub(crate) fn seed_task(tasks: &TaskGraph) -> TaskId {
+    (0..tasks.num_tasks())
+        .max_by(|&a, &b| {
+            tasks
+                .weighted_degree(a)
+                .partial_cmp(&tasks.weighted_degree(b))
+                .unwrap()
+                .then(b.cmp(&a))
+        })
+        .expect("non-empty task graph")
+}
+
+const NONE: usize = usize::MAX;
+
+/// Working state of one TopoCentLB run: heap selection plus pooled
+/// positional cost rows kept in sync with the shrinking free list.
+struct CentState<'a> {
+    tasks: &'a TaskGraph,
+    topo: &'a dyn Topology,
+    proc_of: Vec<usize>,
+    placed: Vec<bool>,
+    /// Positional free list; every live cost row is indexed in sync.
+    free: Vec<usize>,
+    free_pos: Vec<usize>,
+    /// comm_assigned[t] = total communication of t with placed tasks.
+    comm_assigned: Vec<f64>,
+    heap: BinaryHeap<Entry>,
+    pushes: u64,
+    pops: u64,
+    stale: u64,
+    row_events: u64,
+    /// Pooled cost rows: rows[slot][i] = Σ over placed neighbors j of
+    /// the owning task of c · d(free[i], P(j)), accumulated in
+    /// placement order. A task owns a row iff it has a placed neighbor.
+    rows: Vec<Vec<f64>>,
+    free_slots: Vec<usize>,
+    row_slot: Vec<usize>,
+    live: Vec<TaskId>,
+    live_pos: Vec<usize>,
+    dist_scratch: Vec<u32>,
+}
+
+impl<'a> CentState<'a> {
+    fn new(tasks: &'a TaskGraph, topo: &'a dyn Topology) -> Self {
+        let n = tasks.num_tasks();
+        let p = topo.num_nodes();
+        CentState {
+            tasks,
+            topo,
+            proc_of: vec![usize::MAX; n],
+            placed: vec![false; n],
+            free: (0..p).collect(),
+            free_pos: (0..p).collect(),
+            comm_assigned: vec![0f64; n],
+            heap: BinaryHeap::with_capacity(n * 2),
+            pushes: 0,
+            pops: 0,
+            stale: 0,
+            row_events: 0,
+            rows: Vec::new(),
+            free_slots: Vec::new(),
+            row_slot: vec![NONE; n],
+            live: Vec::new(),
+            live_pos: vec![NONE; n],
+            dist_scratch: Vec::new(),
+        }
+    }
+
+    /// One placement: take q, shrink every live row in sync, retire t's
+    /// row, then fire an edge event (comm update + heap push + row
+    /// update over one bulk distance column) per unplaced neighbor.
+    fn place(&mut self, t: TaskId, q: usize) {
+        self.proc_of[t] = q;
+        self.placed[t] = true;
+        if self.row_slot[t] != NONE {
+            self.free_slots.push(self.row_slot[t]);
+            self.row_slot[t] = NONE;
+            let li = self.live_pos[t];
+            let lastl = *self.live.last().unwrap();
+            self.live.swap_remove(li);
+            if lastl != t {
+                self.live_pos[lastl] = li;
+            }
+            self.live_pos[t] = NONE;
+        }
+        let qi = self.free_pos[q];
+        let lastq = *self.free.last().unwrap();
+        self.free.swap_remove(qi);
+        if lastq != q {
+            self.free_pos[lastq] = qi;
+        }
+        self.free_pos[q] = NONE;
+        for &u in &self.live {
+            self.rows[self.row_slot[u]].swap_remove(qi);
+        }
+
+        let nbrs: Vec<(TaskId, f64)> = self
+            .tasks
+            .neighbors(t)
+            .filter(|&(j, _)| !self.placed[j])
+            .collect();
+        if nbrs.is_empty() {
+            return;
+        }
+        self.topo
+            .distances_into(q, &self.free, &mut self.dist_scratch);
+        for &(j, c) in &nbrs {
+            self.comm_assigned[j] += c;
+            self.heap.push(Entry {
+                key: self.comm_assigned[j],
+                task: j,
+            });
+            self.pushes += 1;
+            self.row_events += 1;
+            if self.row_slot[j] == NONE {
+                let slot = if let Some(s) = self.free_slots.pop() {
+                    s
+                } else {
+                    self.rows.push(Vec::new());
+                    self.rows.len() - 1
+                };
+                self.row_slot[j] = slot;
+                self.live_pos[j] = self.live.len();
+                self.live.push(j);
+                let row = &mut self.rows[slot];
+                row.clear();
+                row.extend(self.dist_scratch.iter().map(|&d| c * d as f64));
+            } else {
+                let row = &mut self.rows[self.row_slot[j]];
+                for (v, &d) in row.iter_mut().zip(&self.dist_scratch) {
+                    *v += c * d as f64;
+                }
+            }
+        }
+    }
+}
+
 /// The TopoCentLB mapping strategy.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TopoCentLb;
@@ -55,101 +200,68 @@ impl Mapper for TopoCentLb {
         let p = topo.num_nodes();
         assert!(n <= p, "need at least as many processors as tasks");
         let _map_span = obs::span("topocentlb.map");
-
-        let mut proc_of = vec![usize::MAX; n];
-        let mut placed = vec![false; n];
-        let mut free = vec![true; p];
-
-        // comm_assigned[t] = total communication of t with placed tasks.
-        let mut comm_assigned = vec![0f64; n];
-        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n * 2);
-        let (mut pushes, mut pops, mut stale) = (0u64, 0u64, 0u64);
+        let mut s = CentState::new(tasks, topo);
 
         {
             let _seed_span = obs::span("topocentlb.seed");
             // First selection: the most communicating task overall; it goes
             // to the topology center (the processor with minimum average
             // distance — the natural seed for growing a compact region).
-            let first = (0..n)
-                .max_by(|&a, &b| {
-                    tasks
-                        .weighted_degree(a)
-                        .partial_cmp(&tasks.weighted_degree(b))
-                        .unwrap()
-                        .then(b.cmp(&a))
-                })
-                .expect("non-empty task graph");
+            let first = seed_task(tasks);
             let center = AvgDistTable::new(topo).center();
-            proc_of[first] = center;
-            placed[first] = true;
-            free[center] = false;
-            for (j, c) in tasks.neighbors(first) {
-                comm_assigned[j] += c;
-                heap.push(Entry {
-                    key: comm_assigned[j],
-                    task: j,
-                });
-                pushes += 1;
-            }
+            s.place(first, center);
         }
 
         let _place_span = obs::span("topocentlb.place");
         for _ in 1..n {
             // Pop the max-communication unplaced task; skip stale entries.
             let t = loop {
-                match heap.pop() {
-                    Some(Entry { key, task }) if !placed[task] && key == comm_assigned[task] => {
-                        pops += 1;
+                match s.heap.pop() {
+                    Some(Entry { key, task })
+                        if !s.placed[task] && key == s.comm_assigned[task] =>
+                    {
+                        s.pops += 1;
                         break Some(task);
                     }
                     Some(_) => {
-                        pops += 1;
-                        stale += 1;
+                        s.pops += 1;
+                        s.stale += 1;
                         continue;
                     }
                     None => break None,
                 }
             };
             // Disconnected remainder: pick the lowest-id unplaced task.
-            let t = t.unwrap_or_else(|| (0..n).find(|&x| !placed[x]).unwrap());
+            let t = t.unwrap_or_else(|| (0..n).find(|&x| !s.placed[x]).unwrap());
 
-            // Place on the free processor minimizing first-order cost.
-            let mut best_q = usize::MAX;
-            let mut best_cost = f64::INFINITY;
-            for (q, &q_free) in free.iter().enumerate() {
-                if !q_free {
-                    continue;
-                }
-                let mut cost = 0.0;
-                for (j, c) in tasks.neighbors(t) {
-                    if placed[j] {
-                        cost += c * topo.distance(q, proc_of[j]) as f64;
+            // Place on the free processor minimizing first-order cost:
+            // one contiguous fold of t's cost row (lowest-id tie-break).
+            // No row means no placed neighbor — every free processor
+            // costs 0, so the lowest id wins.
+            let best_q = match s.row_slot[t] {
+                NONE => s.free.iter().copied().min().unwrap(),
+                slot => {
+                    let row = &s.rows[slot];
+                    let mut best_q = usize::MAX;
+                    let mut best_cost = f64::INFINITY;
+                    for (i, &cost) in row.iter().enumerate() {
+                        let q = s.free[i];
+                        if cost < best_cost || (cost == best_cost && q < best_q) {
+                            best_cost = cost;
+                            best_q = q;
+                        }
                     }
+                    best_q
                 }
-                if cost < best_cost || (cost == best_cost && q < best_q) {
-                    best_cost = cost;
-                    best_q = q;
-                }
-            }
-            proc_of[t] = best_q;
-            placed[t] = true;
-            free[best_q] = false;
-            for (j, c) in tasks.neighbors(t) {
-                if !placed[j] {
-                    comm_assigned[j] += c;
-                    heap.push(Entry {
-                        key: comm_assigned[j],
-                        task: j,
-                    });
-                    pushes += 1;
-                }
-            }
+            };
+            s.place(t, best_q);
         }
-        obs::counter_add("topocentlb.heap_pushes", pushes);
-        obs::counter_add("topocentlb.heap_pops", pops);
-        obs::counter_add("topocentlb.stale_pops", stale);
+        obs::counter_add("topocentlb.heap_pushes", s.pushes);
+        obs::counter_add("topocentlb.heap_pops", s.pops);
+        obs::counter_add("topocentlb.stale_pops", s.stale);
+        obs::counter_add("topocentlb.row_events", s.row_events);
         obs::counter_add("topocentlb.placements", n as u64);
-        Mapping::new(proc_of, p)
+        Mapping::new(s.proc_of, p)
     }
 
     fn name(&self) -> String {

@@ -84,6 +84,12 @@ impl<T: Topology> Topology for CachedTopology<T> {
     fn sum_distance_from(&self, node: NodeId) -> u64 {
         self.row_sums[node]
     }
+
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        let row = &self.dist[from * self.n..(from + 1) * self.n];
+        out.clear();
+        out.extend(targets.iter().map(|&t| row[t]));
+    }
 }
 
 impl<T: RoutedTopology> RoutedTopology for CachedTopology<T> {

@@ -181,6 +181,12 @@ impl Topology for GraphTopology {
     fn diameter(&self) -> u32 {
         self.dist.iter().copied().max().unwrap_or(0)
     }
+
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        let row = &self.dist[from * self.n..(from + 1) * self.n];
+        out.clear();
+        out.extend(targets.iter().map(|&t| row[t]));
+    }
 }
 
 impl RoutedTopology for GraphTopology {

@@ -119,6 +119,35 @@ pub trait Topology: Send + Sync {
             .map(|b| self.distance(node, b) as u64)
             .sum()
     }
+
+    /// Bulk distance query: write `distance(from, t)` for each `t` in
+    /// `targets` into `out` (cleared first, same order as `targets`).
+    ///
+    /// This is the hot call of the incremental mapping kernels — one full
+    /// column of the fest table per placement — so regular topologies
+    /// override it with batched closed forms (per-dimension lookup tables
+    /// on tori, matrix-row gathers on cached/BFS topologies) that avoid a
+    /// virtual call and a coordinate decode per element. The default just
+    /// loops over [`Topology::distance`]; overrides must return bit-identical
+    /// values.
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(targets.iter().map(|&t| self.distance(from, t)));
+    }
+
+    /// [`Topology::distances_into`] plus the column total `Σ out` in one
+    /// call. The incremental kernels want both every placement; regular
+    /// topologies override this to accumulate the total inside the gather
+    /// pass instead of re-reading the column. The default sums after the
+    /// fact (4-lane striped — exact either way for integer distances).
+    fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
+        self.distances_into(from, targets, out);
+        let mut s = [0u64; 4];
+        for (i, &d) in out.iter().enumerate() {
+            s[i & 3] += d as u64;
+        }
+        (s[0] + s[1]) + (s[2] + s[3])
+    }
 }
 
 /// A topology with explicit links and deterministic shortest-path routing.
@@ -221,6 +250,13 @@ impl<T: Topology + ?Sized> Topology for &T {
     fn sum_distance_from(&self, node: NodeId) -> u64 {
         (**self).sum_distance_from(node)
     }
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        (**self).distances_into(from, targets, out)
+    }
+
+    fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
+        (**self).distances_sum_into(from, targets, out)
+    }
 }
 
 impl<T: Topology + ?Sized> Topology for Box<T> {
@@ -238,6 +274,13 @@ impl<T: Topology + ?Sized> Topology for Box<T> {
     }
     fn sum_distance_from(&self, node: NodeId) -> u64 {
         (**self).sum_distance_from(node)
+    }
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        (**self).distances_into(from, targets, out)
+    }
+
+    fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
+        (**self).distances_sum_into(from, targets, out)
     }
 }
 
@@ -293,6 +336,21 @@ mod tests {
             }
         }
         assert_eq!(t.diameter(), r.diameter());
+    }
+
+    #[test]
+    fn distances_into_forwards_through_ref_and_box() {
+        let t = Torus::torus_2d(4, 5);
+        let boxed: Box<dyn Topology> = Box::new(Torus::torus_2d(4, 5));
+        let targets: Vec<NodeId> = vec![0, 7, 19, 3, 3, 12];
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        t.distances_into(9, &targets, &mut a);
+        (&t as &dyn Topology).distances_into(9, &targets, &mut b);
+        boxed.distances_into(9, &targets, &mut c);
+        let want: Vec<u32> = targets.iter().map(|&q| t.distance(9, q)).collect();
+        assert_eq!(a, want);
+        assert_eq!(b, want);
+        assert_eq!(c, want);
     }
 
     #[test]

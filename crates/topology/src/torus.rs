@@ -21,6 +21,17 @@ pub struct Torus {
     wrap: Vec<bool>,
     strides: Vec<usize>,
     nodes: usize,
+    /// `coord_tab[d * nodes + id]` = coordinate of node `id` in dimension
+    /// `d`. Precomputed so bulk distance queries gather per-dimension
+    /// lookup tables instead of paying a div/mod pair per element; u16
+    /// keeps the tables L1-resident (dimensions above 65536 nodes fall
+    /// back to scalar distances in `distances_into`).
+    coord_tab: Vec<u16>,
+    /// Byte-packed coordinates — `packed[id]` holds coordinate `d` in byte
+    /// `d` — when the torus has at most 4 dimensions, each of size ≤ 256.
+    /// Lets the bulk gather do one table load per element and index fixed
+    /// 256-entry distance LUTs whose bounds checks vanish. Empty otherwise.
+    packed: Vec<u32>,
 }
 
 impl Torus {
@@ -34,11 +45,47 @@ impl Torus {
         assert_eq!(dims.len(), wrap.len(), "dims/wrap length mismatch");
         assert!(dims.iter().all(|&d| d > 0), "zero-size dimension");
         let nodes = dims.iter().product();
+        let strides = coords::strides(dims);
+        // Coordinate tables, built by tiling: coordinate d is constant over
+        // contiguous blocks of `strides[d]` ids and cycles with period
+        // `strides[d] * dims[d]`.
+        let mut coord_tab = vec![0u16; nodes * dims.len()];
+        for d in 0..dims.len() {
+            let l = dims[d];
+            let stride = strides[d];
+            let tab = &mut coord_tab[d * nodes..(d + 1) * nodes];
+            let mut i = 0;
+            let mut c = 0u16;
+            while i < nodes {
+                let end = (i + stride).min(nodes);
+                tab[i..end].fill(c);
+                i = end;
+                c += 1;
+                if c as usize == l {
+                    c = 0;
+                }
+            }
+        }
+        let packed = if dims.len() <= 4 && dims.iter().all(|&d| d <= 256) {
+            (0..nodes)
+                .map(|id| {
+                    let mut w = 0u32;
+                    for d in 0..dims.len() {
+                        w |= (coord_tab[d * nodes + id] as u32) << (8 * d);
+                    }
+                    w
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Torus {
-            strides: coords::strides(dims),
+            strides,
             dims: dims.to_vec(),
             wrap: wrap.to_vec(),
             nodes,
+            coord_tab,
+            packed,
         }
     }
 
@@ -146,6 +193,137 @@ impl Torus {
     }
 }
 
+impl Torus {
+    /// Per-dimension LUT gather: build one wrap-distance table per
+    /// dimension from `from`'s coordinates (O(Σ dims) total, tiny), then
+    /// each target costs one table lookup per dimension through the
+    /// precomputed coordinate tables — O(targets · dims) with no div or
+    /// mod, and crucially no O(p) full-column pass. The mapping kernels
+    /// call this once per placement with the shrinking free list as
+    /// `targets`, so the column-free formulation is what keeps their
+    /// per-placement cost proportional to the free set. The u64 column
+    /// total rides along in four independent lanes (`gather_with`) so it
+    /// never serializes the gather on one add chain.
+    fn gather_sum(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
+        debug_assert!(from < self.nodes);
+        let n = self.nodes;
+        let nd = self.dims.len();
+        let mut lut: Vec<u32> = Vec::with_capacity(self.dims.iter().sum());
+        let mut lut_off = [0usize; 8];
+        for d in 0..nd {
+            let l = self.dims[d];
+            let cf = coords::coord_of(from, l, self.strides[d]);
+            if d < lut_off.len() {
+                lut_off[d] = lut.len();
+            }
+            lut.extend((0..l).map(|x| self.dim_distance(d, cf, x)));
+        }
+        // Byte-packed fast paths: one `packed` load per element, and the
+        // 256-entry LUT arrays are indexed by a masked byte, so the only
+        // bounds check left is the packed-table load itself.
+        if !self.packed.is_empty() && nd >= 2 {
+            let mut a = [[0u32; 256]; 4];
+            for d in 0..nd {
+                let l = self.dims[d];
+                a[d][..l].copy_from_slice(&lut[lut_off[d]..lut_off[d] + l]);
+            }
+            let pk = &self.packed[..n];
+            match nd {
+                2 => {
+                    let (a0, a1) = (&a[0], &a[1]);
+                    return gather_with(targets, out, |t| {
+                        let c = pk[t] as usize;
+                        a0[c & 255] + a1[(c >> 8) & 255]
+                    });
+                }
+                3 => {
+                    let (a0, a1, a2) = (&a[0], &a[1], &a[2]);
+                    return gather_with(targets, out, |t| {
+                        let c = pk[t] as usize;
+                        a0[c & 255] + a1[(c >> 8) & 255] + a2[(c >> 16) & 255]
+                    });
+                }
+                _ => {
+                    let (a0, a1, a2, a3) = (&a[0], &a[1], &a[2], &a[3]);
+                    return gather_with(targets, out, |t| {
+                        let c = pk[t] as usize;
+                        a0[c & 255] + a1[(c >> 8) & 255] + a2[(c >> 16) & 255] + a3[(c >> 24) & 255]
+                    });
+                }
+            }
+        }
+        match nd {
+            1 => {
+                let t0 = &self.coord_tab[..n];
+                gather_with(targets, out, |t| lut[t0[t] as usize])
+            }
+            2 => {
+                let (l0, l1) = lut.split_at(lut_off[1]);
+                let (t0, t1) = self.coord_tab.split_at(n);
+                gather_with(targets, out, |t| l0[t0[t] as usize] + l1[t1[t] as usize])
+            }
+            3 => {
+                let (l0, rest) = lut.split_at(lut_off[1]);
+                let (l1, l2) = rest.split_at(lut_off[2] - lut_off[1]);
+                let t0 = &self.coord_tab[..n];
+                let t1 = &self.coord_tab[n..2 * n];
+                let t2 = &self.coord_tab[2 * n..3 * n];
+                gather_with(targets, out, |t| {
+                    l0[t0[t] as usize] + l1[t1[t] as usize] + l2[t2[t] as usize]
+                })
+            }
+            _ => {
+                // Arbitrary rank: per-dimension offsets recomputed on the
+                // fly (ranks above 8 fall back to scalar distance).
+                if nd > lut_off.len() {
+                    gather_with(targets, out, |t| self.distance(from, t))
+                } else {
+                    gather_with(targets, out, |t| {
+                        let mut v = 0u32;
+                        for d in 0..nd {
+                            v += lut[lut_off[d] + self.coord_tab[d * n + t] as usize];
+                        }
+                        v
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Fill `out[i] = f(targets[i])` and return `Σ out`, four elements per
+/// step with four independent u64 sum lanes — the total never becomes a
+/// loop-carried dependency of the gather.
+#[inline]
+fn gather_with<F: Fn(NodeId) -> u32>(targets: &[NodeId], out: &mut Vec<u32>, f: F) -> u64 {
+    out.clear();
+    out.resize(targets.len(), 0);
+    let mut s = [0u64; 4];
+    let mut oc = out.chunks_exact_mut(4);
+    let mut tc = targets.chunks_exact(4);
+    for (o4, t4) in oc.by_ref().zip(tc.by_ref()) {
+        let v0 = f(t4[0]);
+        let v1 = f(t4[1]);
+        let v2 = f(t4[2]);
+        let v3 = f(t4[3]);
+        o4[0] = v0;
+        o4[1] = v1;
+        o4[2] = v2;
+        o4[3] = v3;
+        s[0] += v0 as u64;
+        s[1] += v1 as u64;
+        s[2] += v2 as u64;
+        s[3] += v3 as u64;
+    }
+    let mut sum = (s[0] + s[1]) + (s[2] + s[3]);
+    for (o, &t) in oc.into_remainder().iter_mut().zip(tc.remainder()) {
+        let v = f(t);
+        *o = v;
+        sum += v as u64;
+    }
+    sum
+}
+
 impl Topology for Torus {
     fn num_nodes(&self) -> usize {
         self.nodes
@@ -181,6 +359,36 @@ impl Topology for Torus {
             .zip(&self.wrap)
             .map(|(&n, &w)| if w { (n / 2) as u32 } else { (n - 1) as u32 })
             .sum()
+    }
+
+    fn sum_distance_from(&self, node: NodeId) -> u64 {
+        // Closed form, O(dims): distances separate per dimension, and each
+        // coordinate value in dimension d is shared by nodes/dims[d] nodes.
+        // A wrapped dimension of size L contributes floor(L²/4) per sweep
+        // (independent of the start coordinate); a mesh dimension at
+        // coordinate c contributes c(c+1)/2 + (L-1-c)(L-c)/2.
+        debug_assert!(node < self.nodes);
+        let mut total = 0u64;
+        for d in 0..self.dims.len() {
+            let l = self.dims[d] as u64;
+            let reps = self.nodes as u64 / l;
+            let sweep = if self.wrap[d] {
+                l * l / 4
+            } else {
+                let c = coords::coord_of(node, self.dims[d], self.strides[d]) as u64;
+                c * (c + 1) / 2 + (l - 1 - c) * (l - c) / 2
+            };
+            total += reps * sweep;
+        }
+        total
+    }
+
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        self.gather_sum(from, targets, out);
+    }
+
+    fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
+        self.gather_sum(from, targets, out)
     }
 }
 
@@ -421,6 +629,46 @@ mod tests {
                     assert!(hops <= t.diameter(), "routing loop");
                 }
                 assert_eq!(hops, t.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn sum_distance_closed_form_matches_bruteforce() {
+        for t in [
+            Torus::torus_2d(5, 4),
+            Torus::mesh_2d(4, 7),
+            Torus::torus_3d(3, 4, 2),
+            Torus::mesh_3d(3, 3, 3),
+            Torus::new(&[4, 3, 2], &[true, false, true]),
+            Torus::torus_1d(9),
+            Torus::mesh_1d(6),
+        ] {
+            for a in 0..t.num_nodes() {
+                let brute: u64 = (0..t.num_nodes()).map(|b| t.distance(a, b) as u64).sum();
+                assert_eq!(t.sum_distance_from(a), brute, "{} from {a}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn distances_into_matches_scalar_distance() {
+        for t in [
+            Torus::torus_2d(5, 4),
+            Torus::mesh_2d(4, 7),
+            Torus::torus_3d(3, 4, 2),
+            Torus::new(&[4, 3, 2], &[true, false, true]),
+            Torus::torus_1d(9),
+        ] {
+            let n = t.num_nodes();
+            // A scrambled, duplicated target list — the free-list shapes the
+            // mapping kernels pass in.
+            let targets: Vec<NodeId> = (0..n).rev().chain([0, n / 2, 0]).collect();
+            let mut got = Vec::new();
+            for from in 0..n {
+                t.distances_into(from, &targets, &mut got);
+                let want: Vec<u32> = targets.iter().map(|&q| t.distance(from, q)).collect();
+                assert_eq!(got, want, "{} from {from}", t.name());
             }
         }
     }

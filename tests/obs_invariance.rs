@@ -72,18 +72,41 @@ fn counter(r: &obs::Report, name: &str) -> u64 {
     r.counter(name).unwrap_or(0)
 }
 
-/// The TopoLB/estimation counter identities for an `n`-task placement:
-/// one assign per task, and after the k-th assign every one of the
-/// `n - k` still-unassigned tasks gets its fest recomputed exactly once
-/// (full rescan or incremental), so the paths sum to n(n-1)/2.
-fn check_topolb_counters(r: &obs::Report, n: u64, order: EstimationOrder) {
+/// The TopoLB/estimation counter identities for the incremental kernels:
+/// one assign per task; one row event per task-graph edge (an edge fires
+/// exactly once, when its first endpoint is placed); every row event is
+/// folded in full (and argmin-hit refolds only add), so the full-scan
+/// count dominates the row events; and exactly one estimation kernel
+/// (general f64 or uniform-integer) is selected per run.
+fn check_topolb_counters(r: &obs::Report, g: &TaskGraph, order: EstimationOrder) {
+    let n = g.num_tasks() as u64;
     assert_eq!(counter(r, "topolb.placements"), n);
     assert_eq!(counter(r, "estimation.assigns"), n);
+    let edges = g.num_edges() as u64;
+    assert_eq!(
+        counter(r, "estimation.row_events"),
+        edges,
+        "order {order:?}"
+    );
     let full = counter(r, "estimation.fest_full_scan");
-    let fast = counter(r, "estimation.fest_incremental");
-    assert_eq!(full + fast, n * (n - 1) / 2, "order {order:?}");
+    assert!(
+        full >= edges,
+        "full {full} < edges {edges}, order {order:?}"
+    );
     if order == EstimationOrder::Third {
-        assert_eq!(fast, 0, "third order always rescans in full");
+        // Third order refolds the whole frontier every step; the
+        // incremental subtraction path never runs.
+        assert_eq!(
+            counter(r, "estimation.fest_incremental"),
+            0,
+            "third order always rescans in full"
+        );
+    }
+    let gen_runs = counter(r, "estimation.kernel_general");
+    let uni_runs = counter(r, "estimation.kernel_uniform_int");
+    assert_eq!(gen_runs + uni_runs, 1, "exactly one kernel per run");
+    if order == EstimationOrder::Third {
+        assert_eq!(uni_runs, 0, "third order never takes the integer kernel");
     }
     assert_eq!(counter(r, &format!("topolb.order.{}", order.label())), 1);
 }
@@ -103,7 +126,6 @@ proptest! {
         let _l = obs_guard();
         let topo = topology_for(topo_idx, 25);
         let order = ORDERS[order_idx];
-        let n = g.num_tasks() as u64;
 
         let mut reports = Vec::new();
         for threads in [1usize, 4] {
@@ -112,7 +134,7 @@ proptest! {
             let off = mapper.map(&g, topo.as_ref());
             let (on, report) = recorded(|| mapper.map(&g, topo.as_ref()));
             prop_assert_eq!(&off, &on, "ON differs from OFF at {} threads", threads);
-            check_topolb_counters(&report, n, order);
+            check_topolb_counters(&report, &g, order);
             reports.push(report);
         }
         // Thread-count invariance of the algorithm counters (the par.*
@@ -120,8 +142,11 @@ proptest! {
         for name in [
             "topolb.placements",
             "estimation.assigns",
+            "estimation.row_events",
             "estimation.fest_full_scan",
             "estimation.fest_incremental",
+            "estimation.kernel_general",
+            "estimation.kernel_uniform_int",
         ] {
             prop_assert_eq!(
                 reports[0].counter(name), reports[1].counter(name),
