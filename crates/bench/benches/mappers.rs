@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use topomap_core::naive::NaiveTopoLb;
 use topomap_core::{
-    metrics, EstimationOrder, HierarchicalTopoLb, Mapper, Mapping, Parallelism, RandomMap,
-    RefineTopoLb, TopoCentLb, TopoLb,
+    metrics, EstimationOrder, HierMapper, Mapper, Mapping, Parallelism, RandomMap, RefineTopoLb,
+    TopoCentLb, TopoLb,
 };
 use topomap_taskgraph::gen;
 use topomap_topology::Torus;
@@ -29,11 +29,11 @@ fn bench_mappers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("TopoLB+Refine", p), &p, |b, _| {
             b.iter(|| RefineTopoLb::new(TopoLb::default()).map(&tasks, &topo))
         });
-        // Hierarchical (semi-distributed) variant with 4x4-node blocks:
-        // the §6 future-work scalability point.
-        let hier = HierarchicalTopoLb::new(vec![side / 4, side / 4]);
-        group.bench_with_input(BenchmarkId::new("HierTopoLB", p), &p, |b, _| {
-            b.iter(|| hier.map_torus(&tasks, &topo))
+        // Hierarchical (semi-distributed) multisection variant: the §6
+        // future-work scalability point.
+        let hier = HierMapper::for_torus(&topo).expect("factorable torus");
+        group.bench_with_input(BenchmarkId::new("HierMapper", p), &p, |b, _| {
+            b.iter(|| hier.map(&tasks, &topo))
         });
     }
     group.finish();

@@ -140,7 +140,7 @@ fn ablation_topology_family() {
 fn ablation_hierarchical(full: bool) {
     // The paper's §6 future-work direction: semi-distributed two-level
     // mapping. Quality premium and runtime saving vs flat TopoLB.
-    use topomap_core::HierarchicalTopoLb;
+    use topomap_core::HierMapper;
     let sides: &[usize] = if full { &[8, 16, 24, 32] } else { &[8, 16, 24] };
     let mut rows = Vec::new();
     for &side in sides {
@@ -150,9 +150,9 @@ fn ablation_hierarchical(full: bool) {
         let t0 = Instant::now();
         let flat = TopoLb::default().map(&tasks, &machine);
         let t_flat = t0.elapsed().as_secs_f64() * 1e3;
-        let hier_mapper = HierarchicalTopoLb::new(vec![side / 4, side / 4]);
+        let hier_mapper = HierMapper::for_torus(&machine).expect("factorable torus");
         let t0 = Instant::now();
-        let hier = hier_mapper.map_torus(&tasks, &machine);
+        let hier = hier_mapper.map(&tasks, &machine);
         let t_hier = t0.elapsed().as_secs_f64() * 1e3;
         rows.push(vec![
             p.to_string(),
@@ -169,8 +169,8 @@ fn ablation_hierarchical(full: bool) {
         ]);
     }
     print_table(
-        "Ablation 5: flat vs hierarchical TopoLB (4x4-processor blocks) — hpb (runtime)",
-        &["p", "TopoLB", "HierTopoLB"],
+        "Ablation 5: flat TopoLB vs hierarchical multisection mapping — hpb (runtime)",
+        &["p", "TopoLB", "HierMapper"],
         &rows,
     );
 }

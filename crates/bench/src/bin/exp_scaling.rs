@@ -26,7 +26,7 @@
 use std::time::Instant;
 use topomap_bench::{fmt_time_ns, print_table};
 use topomap_core::naive::NaiveTopoLb;
-use topomap_core::{obs, EstimationOrder, Mapper, TopoLb};
+use topomap_core::{obs, EstimationOrder, HierMapper, Mapper, TopoLb};
 use topomap_taskgraph::gen;
 use topomap_topology::Torus;
 
@@ -74,6 +74,19 @@ fn main() {
         format!("{m0}"),
     ]);
 
+    // The hierarchical mapper must beat the flat kernel it decomposes
+    // on the same 4096-node case — it rides the same smoke gate.
+    let tasks = gen::stencil2d(64, 64, 1024.0, true);
+    let topo = Torus::torus_2d(64, 64);
+    let hier = HierMapper::for_torus(&topo).expect("square torus factors");
+    let (t_hier, m0) = best_of_3(|| hier.map(&tasks, &topo).proc_of(0));
+    rows.push(vec![
+        "4096".into(),
+        "HierMapper".into(),
+        format!("{:.3} ms", t_hier * 1e3),
+        format!("{m0}"),
+    ]);
+
     // Profiled 4096 run: where does the time go now?
     let tasks = gen::stencil2d(64, 64, 1024.0, true);
     let topo = Torus::torus_2d(64, 64);
@@ -111,6 +124,13 @@ fn main() {
          (naive 576-node unit)",
         t4096 * 1e3,
         unit * 1e3
+    );
+    assert!(
+        t_hier <= t4096,
+        "HierMapper slower than the flat kernel it decomposes at 4096: \
+         {:.1} ms > {:.1} ms",
+        t_hier * 1e3,
+        t4096 * 1e3
     );
     assert!(
         select_ns < assign_ns,

@@ -18,6 +18,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_routing",
     "exp_profile",
     "exp_scaling",
+    "exp_hier",
 ];
 
 fn main() {

@@ -16,6 +16,7 @@ USAGE:
   topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S]
                    [--threads auto|N] [--out FILE] [--profile]
                    [--trace-out FILE] [--trace-format json|csv]
+                   [--hierarchy A1:A2:... [--hier-dist D1:D2:...]]
   topomap eval     --topology SPEC --tasks FILE --mapping FILE
   topomap simulate --topology SPEC --tasks FILE --mapping FILE
                    [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
@@ -29,9 +30,15 @@ SPECS:
             | leanmd:64 | ring:32 | all2all:16 | butterfly:64 | transpose:8
             | sweep2d:6x6 | tree:32 | random:N:AVGDEG
   mapper:   random | topolb | topolb-first | topolb-third | topocentlb
-            | refine | identity | linear | anneal | genetic
+            | refine | identity | linear | anneal | genetic | hier
   threads:  worker threads for the mapper (auto = detect; results are
             identical for every setting)
+  hierarchy: --hierarchy 4:8:16 selects the hierarchical mapper (same as
+            --mapper hier), decomposing the machine into blocks of 4,
+            cabinets of 8x4, ... innermost level first; the product must
+            equal the processor count. --hier-dist 1:10:100 pins the
+            per-level distances (default: derived from the machine).
+            --mapper hier alone auto-chooses the arities.
 
 OBSERVABILITY:
   --profile            print a span/counter summary after the run
@@ -137,11 +144,26 @@ pub fn cmd_gen(args: &Args) -> Result<String, String> {
 /// `topomap map` — map a task graph onto a machine.
 pub fn cmd_map(args: &Args) -> Result<String, String> {
     let obs_opts = ObsOpts::from_args(args)?;
-    let topo = specs::parse_topology(args.required("topology")?)?;
+    let topo_spec = args.required("topology")?;
+    let topo = specs::parse_topology(topo_spec)?;
     let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
     let seed: u64 = args.parsed_or("seed", 0)?;
     let par = specs::parse_threads(args.optional("threads").unwrap_or("auto"))?;
-    let mapper = specs::parse_mapper(args.required("mapper")?, seed, par)?;
+    let hier = args.optional("hierarchy");
+    let mapper = if hier.is_some() || args.optional("mapper") == Some("hier") {
+        if let Some(other) = args.optional("mapper").filter(|&m| m != "hier") {
+            return Err(format!(
+                "--hierarchy selects the hierarchical mapper; drop '--mapper {other}' \
+                 (or spell it '--mapper hier')"
+            ));
+        }
+        specs::parse_hier_mapper(topo_spec, &topo, hier, args.optional("hier-dist"), par)?
+    } else {
+        if args.optional("hier-dist").is_some() {
+            return Err("--hier-dist needs --hierarchy (or --mapper hier)".into());
+        }
+        specs::parse_mapper(args.required("mapper")?, seed, par)?
+    };
     let t = topo.as_topology();
     if tasks.num_tasks() > t.num_nodes() {
         return Err(format!(
@@ -417,6 +439,74 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("thread count"), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_flag_runs_hier_mapper_end_to_end() {
+        let tasks_path = tmp("hier-tasks.json");
+        let map_path = tmp("hier-map.json");
+        cmd_gen(&args(&["--pattern", "stencil2d:8x8", "--out", &tasks_path])).unwrap();
+        let out = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--hierarchy",
+            "4:4:4",
+            "--out",
+            &map_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("HierMapper(4:4:4)"), "{out}");
+        assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
+        // `--mapper hier` with no --hierarchy auto-chooses the arities.
+        let out = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "hier",
+        ]))
+        .unwrap();
+        assert!(out.contains("HierMapper("), "{out}");
+
+        // Malformed spec surfaces the parser's message.
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--hierarchy",
+            "4:0:8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("zero children"), "{err}");
+        // Conflicting --mapper is rejected, as is a dangling --hier-dist.
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--hierarchy",
+            "4:4:4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--mapper"), "{err}");
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--hier-dist",
+            "1:2:3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--hierarchy"), "{err}");
     }
 
     #[test]

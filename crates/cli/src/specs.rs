@@ -7,11 +7,13 @@
 //! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic` |
 
 use topomap_core::{
-    EstimationOrder, GeneticMap, IdentityMap, LinearOrderMap, Mapper, Parallelism, RandomMap,
-    RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
+    auto_arities, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap, Mapper,
+    Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
 };
 use topomap_taskgraph::{gen, TaskGraph};
-use topomap_topology::{FatTree, GraphTopology, Hypercube, RoutedTopology, Topology, Torus};
+use topomap_topology::{
+    FatTree, GraphTopology, Hierarchy, Hypercube, RoutedTopology, Topology, Torus,
+};
 
 /// Parse `AxBxC` into dimension sizes.
 fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
@@ -207,6 +209,63 @@ pub fn parse_threads(spec: &str) -> Result<Parallelism, String> {
     }
 }
 
+/// Build a [`HierMapper`] from `--hierarchy H` / `--hier-dist D` specs
+/// (`H` like `4:8:16`, innermost level first; omitted = auto-chosen
+/// arities for the machine size). Torus/mesh machines get the block
+/// layout from [`Hierarchy::factor_torus`]; any other machine uses the
+/// identity layout, with level distances derived from its metric
+/// ([`Hierarchy::identity_over`]) unless `--hier-dist` pins them.
+pub fn parse_hier_mapper(
+    topo_spec: &str,
+    topo: &ParsedTopology,
+    hier_spec: Option<&str>,
+    dist_spec: Option<&str>,
+    par: Parallelism,
+) -> Result<Box<dyn Mapper>, String> {
+    let t = topo.as_topology();
+    let arities = match hier_spec {
+        Some(h) => Hierarchy::parse_arities(h)?,
+        None => auto_arities(t.num_nodes()),
+    };
+    if let Some(i) = arities.iter().position(|&a| a == 0) {
+        return Err(format!(
+            "hierarchy level {} has zero children (every level must be >= 1)",
+            i + 1
+        ));
+    }
+    let (kind, rest) = topo_spec.split_once(':').unwrap_or((topo_spec, ""));
+    let mapper = if kind == "torus" || kind == "mesh" {
+        let grid = if kind == "torus" {
+            Torus::torus(&parse_dims(rest)?)
+        } else {
+            Torus::mesh(&parse_dims(rest)?)
+        };
+        let (hier, pe_order) = Hierarchy::factor_torus(&grid, &arities)?;
+        let hier = match dist_spec {
+            Some(d) => Hierarchy::try_new(arities, Hierarchy::parse_dists(d)?)?,
+            None => hier,
+        };
+        HierMapper::with_layout(hier, pe_order)
+    } else {
+        let hier = match dist_spec {
+            Some(d) => {
+                let h = Hierarchy::try_new(arities, Hierarchy::parse_dists(d)?)?;
+                if h.num_nodes() != t.num_nodes() {
+                    return Err(format!(
+                        "hierarchy covers {} processors but the machine has {}",
+                        h.num_nodes(),
+                        t.num_nodes()
+                    ));
+                }
+                h
+            }
+            None => Hierarchy::identity_over(t, &arities)?,
+        };
+        HierMapper::new(hier)
+    };
+    Ok(Box::new(mapper.with_parallelism(par)))
+}
+
 /// Resolve a mapper spec. `par` configures the deterministic parallel
 /// execution layer for the mappers that support it.
 pub fn parse_mapper(spec: &str, seed: u64, par: Parallelism) -> Result<Box<dyn Mapper>, String> {
@@ -331,6 +390,52 @@ mod tests {
             );
         }
         assert!(parse_mapper("bogus", 1, Parallelism::default()).is_err());
+    }
+
+    #[test]
+    fn hier_mapper_specs_parse() {
+        let par = Parallelism::default();
+        // Torus gets a factored block layout; auto arities when omitted.
+        let torus = parse_topology("torus:8x8").unwrap();
+        for h in [Some("4:4:4"), Some("16:4"), None] {
+            let m = parse_hier_mapper("torus:8x8", &torus, h, None, par)
+                .unwrap_or_else(|e| panic!("{h:?}: {e}"));
+            assert!(m.name().starts_with("HierMapper("), "{}", m.name());
+        }
+        // Fat-trees (and any non-grid machine) take the identity layout.
+        let ft = parse_topology("fattree:2:3").unwrap();
+        let m = parse_hier_mapper("fattree:2:3", &ft, Some("2:2:2"), None, par).unwrap();
+        assert_eq!(m.name(), "HierMapper(2:2:2)");
+        // Explicit distance ladder.
+        let m =
+            parse_hier_mapper("fattree:2:3", &ft, Some("2:2:2"), Some("1:10:100"), par).unwrap();
+        assert_eq!(m.name(), "HierMapper(2:2:2)");
+    }
+
+    #[test]
+    fn malformed_hierarchy_specs_rejected() {
+        let par = Parallelism::default();
+        let torus = parse_topology("torus:8x8").unwrap();
+        for (h, d, needle) in [
+            // Zero-arity level.
+            ("4:0:8", None, "zero children"),
+            // Trailing colon.
+            ("4:8:", None, "empty level"),
+            // Garbage level.
+            ("4:x:8", None, "not a non-negative integer"),
+            // Product does not cover the machine.
+            ("4:4", None, "64"),
+            // Distance count mismatch.
+            ("4:4:4", Some("1:10"), "distances"),
+            // Decreasing distances.
+            ("4:4:4", Some("10:5:1"), "non-decreasing"),
+        ] {
+            let err = match parse_hier_mapper("torus:8x8", &torus, Some(h), d, par) {
+                Ok(_) => panic!("H={h} D={d:?} should fail"),
+                Err(e) => e,
+            };
+            assert!(err.contains(needle), "H={h} D={d:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,256 +1,1202 @@
-//! Hierarchical (semi-distributed) topology-aware mapping — the paper's
-//! future-work direction implemented.
+//! Hierarchical multisection mapping — the paper's future-work direction
+//! (§6: "a distributed approach toward keeping communication localized in
+//! a neighborhood may be needed for scalability"; hybrid semi-distributed
+//! approaches) implemented over an explicit hardware hierarchy.
 //!
-//! §6: "Due to the massively large sizes of machines like Bluegene, a
-//! distributed approach toward keeping communication localized in a
-//! neighborhood may be needed for scalability in the future. Hybrid
-//! approaches (semi-distributed) ... need to be investigated further."
+//! [`HierMapper`] decomposes one `p`-processor mapping problem down a
+//! [`Hierarchy`] `H = a1:…:al`:
 //!
-//! [`HierarchicalTopoLb`] is that hybrid: carve the torus into a grid of
-//! equal blocks (sub-meshes), then
+//! 1. **Descent** groups tasks into innermost containers, either
+//!    bottom-up ([`Descent::Coarsen`], the default: heavy-edge-matching
+//!    coarsening capped at `a1`, then an incremental TopoLB + realized
+//!    -cost polish places the cluster graph on the leaf blocks) or
+//!    top-down ([`Descent::Multisection`]: `ai`-way splits per level with
+//!    sibling placement, so the expensive outer cuts are minimized
+//!    first).
+//! 2. **Leaf sub-mapping**: each innermost container (≤ `a1` tasks on
+//!    `a1` processors) is an independent table-driven [`Unit`] job —
+//!    attraction-ordered greedy growth plus local improvement sweeps —
+//!    dispatched on the `par` pool via one `map_chunks` region. Leaves
+//!    only read shared immutable state and write disjoint tasks, so the
+//!    merged result is bit-identical for every thread count.
+//! 3. **Cross-leaf refinement**: Jacobi-style passes that pair up the
+//!    leaves currently exchanging the most bytes and sweep each pair as
+//!    one [`Unit`] (swaps may cross the pair's leaf boundary), reading a
+//!    pass snapshot for outside neighbors. Per-unit work depends only on
+//!    the snapshot, so parallel == serial exactly; converged pairs are
+//!    remembered and the loop stops when no discontent pair remains.
 //!
-//! 1. partition the task graph into one balanced group per block
-//!    (multilevel, cut-reducing, sizes forced exact with a boundary
-//!    fix-up),
-//! 2. map the block-level group graph onto the block grid with TopoLB
-//!    (a `B`-node problem), and
-//! 3. map each group's tasks onto its block's processors with TopoLB on
-//!    the induced subgraph (many independent `(p/B)`-node problems).
-//!
-//! Total cost drops from O(p²) to O(B² + B·(p/B)²) table work, at a small
-//! hop-byte premium (quantified in `exp_ablation`): cross-block edges are
-//! only resolved at block granularity.
+//! Table work drops from the flat kernels' O(p²)-ish to
+//! O(coarsen + Σ_leaves a1² ·  d̄) with the leaf and refinement terms
+//! embarrassingly parallel — exactly the shape the PR-1 pool was built
+//! for.
 
-use crate::{Mapper, Mapping, TopoLb};
-use topomap_partition::{MultilevelKWay, Partitioner};
+use crate::par::Executor;
+use crate::{obs, EstimationOrder, Mapper, Mapping, Parallelism, TopoLb};
+use topomap_partition::Multisection;
 use topomap_taskgraph::{TaskGraph, TaskId};
-use topomap_topology::{Topology, Torus};
+use topomap_topology::{CachedTopology, Hierarchy, NodeId, Topology, Torus};
 
-/// Hierarchical two-level TopoLB over a torus/mesh machine.
-#[derive(Debug, Clone)]
-pub struct HierarchicalTopoLb {
-    /// Number of blocks along each machine dimension. Every entry must
-    /// divide the corresponding machine dimension.
-    pub blocks_per_dim: Vec<usize>,
-    /// Phase-1 partitioner used to form the per-block groups.
-    pub partitioner: MultilevelKWay,
+/// How tasks are grouped into innermost containers before the parallel
+/// leaf sub-mappings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descent {
+    /// Bottom-up (default): heavy-edge-matching coarsening with cluster
+    /// size capped at `a1`, then one serial incremental TopoLB maps the
+    /// `p/a1` clusters onto the leaf-block representatives. Clusters are
+    /// compact by construction and the coarse placement reuses the
+    /// paper's strongest kernel at 1/a1 of the problem size.
+    Coarsen,
+    /// Top-down k-way multisection ([`Multisection`]): split into `ai`
+    /// parts per level (outermost cuts first), then place siblings and
+    /// propagate terminals per level.
+    Multisection,
 }
 
-impl HierarchicalTopoLb {
-    pub fn new(blocks_per_dim: Vec<usize>) -> Self {
-        HierarchicalTopoLb {
-            blocks_per_dim,
-            partitioner: MultilevelKWay::default(),
+/// Recursive partition-and-map over an explicit hardware hierarchy, with
+/// the leaf sub-mappings dispatched in parallel (deterministically).
+#[derive(Debug, Clone)]
+pub struct HierMapper {
+    /// The hardware hierarchy (its processor count must match the machine
+    /// handed to [`Mapper::map`]).
+    pub hier: Hierarchy,
+    /// Machine node at each hierarchy position (`None` = identity — the
+    /// machine is numbered hierarchically already, e.g. a fat-tree).
+    pub pe_order: Option<Vec<NodeId>>,
+    /// Leaf-grouping scheme.
+    pub descent: Descent,
+    /// Cross-leaf Jacobi swap passes after the leaf sub-mappings.
+    pub refine_passes: usize,
+    /// Intra-leaf refine sweeps inside each leaf job.
+    pub leaf_refine_passes: usize,
+    /// Thread configuration for the leaf and refinement fan-outs.
+    pub par: Parallelism,
+}
+
+impl HierMapper {
+    /// Identity processor layout: hierarchy position `q` is machine node
+    /// `q`. Right for fat-trees and for machines that are themselves
+    /// numbered hierarchically.
+    pub fn new(hier: Hierarchy) -> Self {
+        HierMapper {
+            hier,
+            pe_order: None,
+            descent: Descent::Coarsen,
+            refine_passes: 4,
+            leaf_refine_passes: 2,
+            par: Parallelism::default(),
         }
     }
 
-    /// Map `tasks` onto the torus `machine` (the typed entry point; the
-    /// [`Mapper`] impl only accepts `Torus` machines and panics
-    /// otherwise, since blocks need grid structure).
-    pub fn map_torus(&self, tasks: &TaskGraph, machine: &Torus) -> Mapping {
-        let dims = machine.dims().to_vec();
-        assert_eq!(
-            dims.len(),
-            self.blocks_per_dim.len(),
-            "blocks_per_dim must match machine dimensionality"
-        );
-        for (d, (&n, &b)) in dims.iter().zip(&self.blocks_per_dim).enumerate() {
-            assert!(
-                b >= 1 && n % b == 0,
-                "dim {d}: {b} blocks must divide size {n}"
-            );
+    /// Explicit layout: `pe_order[q]` = machine node at position `q`.
+    pub fn with_layout(hier: Hierarchy, pe_order: Vec<NodeId>) -> Self {
+        assert_eq!(pe_order.len(), hier.num_nodes(), "layout length mismatch");
+        HierMapper {
+            pe_order: Some(pe_order),
+            ..Self::new(hier)
         }
-        let p = machine.num_nodes();
+    }
+
+    /// Derive a hierarchy for a torus/mesh with auto-chosen arities
+    /// ([`auto_arities`]) and the block layout from
+    /// [`Hierarchy::factor_torus`].
+    pub fn for_torus(t: &Torus) -> Result<Self, String> {
+        Self::for_torus_with(t, &auto_arities(t.num_nodes()))
+    }
+
+    /// Derive a hierarchy for a torus/mesh with the given arities.
+    pub fn for_torus_with(t: &Torus, arities: &[usize]) -> Result<Self, String> {
+        let (hier, pe_order) = Hierarchy::factor_torus(t, arities)?;
+        Ok(Self::with_layout(hier, pe_order))
+    }
+
+    /// Builder: set the thread configuration.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Machine node at hierarchy position `q`.
+    #[inline]
+    fn pe(&self, q: usize) -> NodeId {
+        match &self.pe_order {
+            Some(v) => v[q],
+            None => q,
+        }
+    }
+
+    /// Bottom-up leaf grouping: heavy-edge-matching coarsening (cluster
+    /// size capped at `a1`, merges heaviest edges first) until at most
+    /// `p/a1` clusters remain, then a serial incremental TopoLB places
+    /// the cluster graph on the leaf-block representative processors.
+    /// Returns the leaf index of every task.
+    fn coarsen_to_leaves(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Vec<usize> {
         let n = tasks.num_tasks();
-        assert!(n <= p, "need at least as many processors as tasks");
-
-        let num_blocks: usize = self.blocks_per_dim.iter().product();
-        let block_dims: Vec<usize> = dims
-            .iter()
-            .zip(&self.blocks_per_dim)
-            .map(|(&n, &b)| n / b)
-            .collect();
-        let block_size: usize = block_dims.iter().product();
-
-        // Degenerate split: fall back to flat TopoLB.
-        if num_blocks == 1 || num_blocks >= n {
-            return TopoLb::default().map(tasks, machine);
-        }
-
-        // --- 1. one balanced group per block, sizes forced to fit ---
-        let mut assignment = self
-            .partitioner
-            .partition(tasks, num_blocks)
-            .assignment()
-            .to_vec();
-        enforce_capacities(tasks, &mut assignment, num_blocks, block_size);
-
-        // --- 2. block-level mapping: group graph onto the block grid ---
-        // Inter-block distance is modeled by the machine distance between
-        // block origins — exact up to an additive intra-block offset.
-        let group_graph = tasks.coalesce(&assignment, num_blocks);
-        let block_grid = Torus::new(&self.blocks_per_dim, machine.wrap());
-        let block_mapping = TopoLb::default().map(&group_graph, &block_grid);
-
-        // --- 3. intra-block mapping, independently per block ---
-        let mut proc_of = vec![usize::MAX; n];
-        let inner = TopoLb::default();
-        for g in 0..num_blocks {
-            let members: Vec<TaskId> = (0..n).filter(|&t| assignment[t] == g).collect();
-            if members.is_empty() {
-                continue;
-            }
-            // Induced subgraph on this group's tasks.
-            let index_of: std::collections::HashMap<TaskId, usize> =
-                members.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-            let mut sub = TaskGraph::builder(members.len());
-            for (i, &t) in members.iter().enumerate() {
-                sub.set_task_weight(i, tasks.vertex_weight(t));
-                for (u, w) in tasks.neighbors(t) {
-                    if let Some(&j) = index_of.get(&u) {
-                        if i < j {
-                            sub.add_comm(i, j, w);
-                        }
+        let a1 = self.hier.arities()[0];
+        let leaves = self.hier.num_nodes() / a1;
+        let mut cluster_of: Vec<usize> = (0..n).collect();
+        let mut count = n;
+        let mut sizes = vec![1usize; n];
+        let mut coarse = tasks.clone();
+        {
+            let _span = obs::span("hier.coarsen");
+            while count > leaves {
+                // One matching pass over the current cluster graph,
+                // stopping as soon as enough merges are queued to hit
+                // the target count.
+                let needed = count - leaves;
+                let mut match_to = vec![usize::MAX; count];
+                let mut merged = 0usize;
+                for c in 0..count {
+                    if merged >= needed {
+                        break;
+                    }
+                    if match_to[c] != usize::MAX {
+                        continue;
+                    }
+                    let best = coarse
+                        .neighbors(c)
+                        .filter(|&(u, _)| {
+                            u != c && match_to[u] == usize::MAX && sizes[c] + sizes[u] <= a1
+                        })
+                        .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then(y.0.cmp(&x.0)));
+                    if let Some((u, _)) = best {
+                        match_to[c] = u;
+                        match_to[u] = c;
+                        merged += 1;
                     }
                 }
-            }
-            let sub = sub.build();
-            // The block's machine: a sub-mesh (wraparound links within a
-            // block only exist if the block spans the full dimension).
-            let sub_wrap: Vec<bool> = machine
-                .wrap()
-                .iter()
-                .zip(&self.blocks_per_dim)
-                .map(|(&w, &b)| w && b == 1)
-                .collect();
-            let block_machine = Torus::new(&block_dims, &sub_wrap);
-            let local = inner.map(&sub, &block_machine);
-
-            // Translate block-local processors to machine processors.
-            let bnode = block_mapping.proc_of(g);
-            let bgrid = Torus::new(&self.blocks_per_dim, machine.wrap());
-            let bcoords = bgrid.coords(bnode);
-            for (i, &t) in members.iter().enumerate() {
-                let lc = block_machine.coords(local.proc_of(i));
-                let mut mc = vec![0usize; dims.len()];
-                for d in 0..dims.len() {
-                    mc[d] = bcoords.get(d) * block_dims[d] + lc.get(d);
+                if merged == 0 {
+                    // Disconnected or saturated: force-pair smallest
+                    // with the largest partner that still fits.
+                    let mut order: Vec<usize> = (0..count).collect();
+                    order.sort_by_key(|&c| (sizes[c], c));
+                    let (mut lo, mut hi) = (0usize, count - 1);
+                    while lo < hi && merged < needed {
+                        let (c, u) = (order[lo], order[hi]);
+                        if sizes[c] + sizes[u] <= a1 {
+                            match_to[c] = u;
+                            match_to[u] = c;
+                            merged += 1;
+                            lo += 1;
+                            hi -= 1;
+                        } else {
+                            hi -= 1; // partner too big; try a smaller one
+                        }
+                    }
+                    if merged == 0 {
+                        break; // no pair fits; bin-pack fallback below
+                    }
                 }
-                proc_of[t] = machine.node_at(&mc);
+                let mut new_id = vec![usize::MAX; count];
+                let mut next = 0usize;
+                for c in 0..count {
+                    if new_id[c] != usize::MAX {
+                        continue;
+                    }
+                    new_id[c] = next;
+                    if match_to[c] != usize::MAX {
+                        new_id[match_to[c]] = next;
+                    }
+                    next += 1;
+                }
+                let mut new_sizes = vec![0usize; next];
+                for c in 0..count {
+                    new_sizes[new_id[c]] += sizes[c];
+                }
+                for cl in cluster_of.iter_mut() {
+                    *cl = new_id[*cl];
+                }
+                coarse = tasks.coalesce(&cluster_of, next);
+                sizes = new_sizes;
+                count = next;
+            }
+            if count > leaves {
+                // Matching stalled above the target (all pairs would
+                // overflow `a1`). Bin-pack clusters into `leaves` bins of
+                // capacity `a1`, splitting any cluster that no longer
+                // fits whole — guaranteed to succeed since `n <= p`.
+                let mut bin_of = vec![usize::MAX; count];
+                let mut load = vec![0usize; leaves];
+                let mut order: Vec<usize> = (0..count).collect();
+                order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c]), c));
+                for &c in &order {
+                    if let Some(b) = (0..leaves).find(|&b| load[b] + sizes[c] <= a1) {
+                        bin_of[c] = b;
+                        load[b] += sizes[c];
+                    }
+                }
+                for cl in cluster_of.iter_mut() {
+                    *cl = bin_of[*cl]; // split clusters become MAX for now
+                }
+                for cl in cluster_of.iter_mut() {
+                    if *cl == usize::MAX {
+                        let b = (0..leaves).find(|&b| load[b] < a1).expect("n <= p");
+                        load[b] += 1;
+                        *cl = b;
+                    }
+                }
+                count = leaves;
+                coarse = tasks.coalesce(&cluster_of, count);
+            }
+            if obs::enabled() {
+                obs::counter_add("hier.coarsen.clusters", count as u64);
             }
         }
-        let mut mapping = Mapping::new(proc_of, p);
-
-        // --- 4. intra-block swap refinement against the FULL graph ---
-        // The intra-block TopoLB saw only the induced subgraph; a few
-        // swap passes restricted to same-block pairs re-aim boundary
-        // tasks at their cross-block neighbors. Cost is O(Σ_b |b|²·δ̄)
-        // = O(p²/B·δ̄) — the hierarchy's subquadratic scaling survives.
-        let groups: Vec<Vec<TaskId>> = {
-            let mut v = vec![Vec::new(); num_blocks];
-            for t in 0..n {
-                v[assignment[t]].push(t);
-            }
-            v
+        // Place the cluster graph on the leaf-block representatives: an
+        // incremental TopoLB over the restricted (origins-only) metric.
+        // On small, highly symmetric cluster graphs a single estimation
+        // order can tie-break into a twisted embedding that later
+        // pairwise swaps provably cannot undo, so there all three orders
+        // are tried and scored exactly (the coarse graph is tiny); the
+        // best start is then polished with cluster-level swap sweeps via
+        // [`Unit`] — one such swap exchanges whole blocks, exactly the
+        // repair task-level swaps cannot express later.
+        let _span = obs::span("hier.coarse_map");
+        let origins: Vec<NodeId> = (0..leaves).map(|g| self.pe(g * a1)).collect();
+        let blocks = CachedTopology::new(Restriction {
+            topo,
+            nodes: &origins,
+        });
+        let score = |m: &Mapping| -> f64 {
+            coarse
+                .edges()
+                .map(|(x, y, w)| w * blocks.distance(m.proc_of(x), m.proc_of(y)) as f64)
+                .sum()
         };
-        for _pass in 0..2 {
-            let mut improved = false;
-            for members in &groups {
-                for (i, &a) in members.iter().enumerate() {
-                    for &b in &members[i + 1..] {
-                        if crate::refine::swap_delta(tasks, machine, &mapping, a, b) < -1e-12 {
-                            mapping.swap_tasks(a, b);
-                            improved = true;
+        let orders: &[EstimationOrder] = if count <= 32 {
+            &[
+                EstimationOrder::Second,
+                EstimationOrder::First,
+                EstimationOrder::Third,
+            ]
+        } else {
+            &[EstimationOrder::Second]
+        };
+        let best = orders
+            .iter()
+            .map(|&ord| {
+                let m = TopoLb::with_parallelism(ord, Parallelism::serial()).map(&coarse, &blocks);
+                (score(&m), m)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .expect("non-empty portfolio")
+            .1;
+        let mut local_of = vec![usize::MAX; count];
+        let no_ext = |_: TaskId| -> NodeId { unreachable!("cluster graph has no external tasks") };
+        let mut unit = Unit::new(
+            &coarse,
+            topo,
+            (0..count).collect(),
+            origins,
+            &mut local_of,
+            &no_ext,
+        );
+        for cl in 0..count {
+            unit.slot_of[cl] = best.proc_of(cl);
+            unit.occupant[best.proc_of(cl)] = cl;
+        }
+        unit.sweeps(8);
+        let mut assign: Vec<usize> = unit.slot_of.clone();
+        // Origin distance is orientation-blind: on a wrap-heavy block
+        // grid many twisted embeddings tie with the straight one, yet
+        // the (translation-only) leaf placements can align their
+        // boundaries only under the straight one. For small coarse
+        // instances, polish under the *realized* objective instead:
+        // predict every task's final node as `block origin + canonical
+        // growth slot` — the same intra-only growth the leaf phase runs
+        // — and hill-climb whole-cluster exchanges on that. Gated to
+        // `count <= 32` where a polish round is far cheaper than the
+        // quality it recovers; larger coarse graphs have enough distance
+        // diversity that the origin proxy already separates embeddings.
+        if (2..=32).contains(&count) {
+            let mut slot = vec![0usize; n];
+            let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); count];
+            for (t, &cl) in cluster_of.iter().enumerate() {
+                members[cl].push(t);
+            }
+            let nodes0: Vec<NodeId> = (0..a1).map(|o| self.pe(o)).collect();
+            let origin0 = self.pe(0);
+            let anywhere = |_: TaskId| origin0;
+            let mut scratch = vec![usize::MAX; n];
+            for ms in &members {
+                if ms.is_empty() {
+                    continue;
+                }
+                let mut u = Unit::new(
+                    tasks,
+                    topo,
+                    ms.clone(),
+                    nodes0.clone(),
+                    &mut scratch,
+                    &anywhere,
+                );
+                u.place_greedy(false);
+                for (i, &t) in u.ms.iter().enumerate() {
+                    slot[t] = u.slot_of[i];
+                }
+            }
+            let pred = |leaf: usize, t: TaskId| self.pe(leaf * a1 + slot[t]);
+            // Cross-cluster edges, also bucketed per cluster for deltas.
+            let mut incident: Vec<Vec<usize>> = vec![Vec::new(); count];
+            let cross: Vec<(TaskId, TaskId, f64)> = tasks
+                .edges()
+                .filter(|&(x, y, _)| cluster_of[x] != cluster_of[y])
+                .collect();
+            for (e, &(x, y, _)) in cross.iter().enumerate() {
+                incident[cluster_of[x]].push(e);
+                incident[cluster_of[y]].push(e);
+            }
+            let cost_of = |edges: &[usize], assign: &[usize]| -> f64 {
+                edges
+                    .iter()
+                    .map(|&e| {
+                        let (x, y, w) = cross[e];
+                        let (px, py) = (
+                            pred(assign[cluster_of[x]], x),
+                            pred(assign[cluster_of[y]], y),
+                        );
+                        w * topo.distance(px, py) as f64
+                    })
+                    .sum()
+            };
+            for _round in 0..4 * count {
+                let occupied: std::collections::BTreeSet<usize> = assign.iter().copied().collect();
+                let free: Vec<usize> = (0..leaves).filter(|g| !occupied.contains(g)).collect();
+                let mut best: (f64, usize, usize, bool) = (-1e-9, 0, 0, false);
+                for ca in 0..count {
+                    // Exchange with another cluster's leaf...
+                    for cb in (ca + 1)..count {
+                        let mut edges: Vec<usize> = incident[ca]
+                            .iter()
+                            .chain(incident[cb].iter())
+                            .copied()
+                            .collect();
+                        edges.sort_unstable();
+                        edges.dedup();
+                        let before = cost_of(&edges, &assign);
+                        let mut trial = assign.clone();
+                        trial.swap(ca, cb);
+                        let d = cost_of(&edges, &trial) - before;
+                        if d < best.0 {
+                            best = (d, ca, cb, false);
+                        }
+                    }
+                    // ...or relocation onto an unused leaf block.
+                    for &f in &free {
+                        let before = cost_of(&incident[ca], &assign);
+                        let mut trial = assign.clone();
+                        trial[ca] = f;
+                        let d = cost_of(&incident[ca], &trial) - before;
+                        if d < best.0 {
+                            best = (d, ca, f, true);
                         }
                     }
                 }
+                let (d, a, b, relocate) = best;
+                if d >= -1e-9 {
+                    break;
+                }
+                if relocate {
+                    assign[a] = b;
+                } else {
+                    assign.swap(a, b);
+                }
             }
-            if !improved {
+        }
+        // Cluster `cl` sits on slot (= leaf index) `assign[cl]`.
+        cluster_of.iter().map(|&cl| assign[cl]).collect()
+    }
+
+    /// Multisection descent + per-level sibling placement. Returns the
+    /// leaf index of every task (leaf `g` owns positions
+    /// `[g·a1, (g+1)·a1)`).
+    fn partition_to_leaves(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Vec<usize> {
+        let _span = obs::span("hier.partition");
+        let n = tasks.num_tasks();
+        let arities = self.hier.arities();
+        let ms = Multisection::new(arities.to_vec());
+        let mut group_of = vec![0usize; n];
+        let mut num_groups = 1usize;
+        let prof = obs::enabled();
+        for level in (1..arities.len()).rev() {
+            let lvl_span = prof.then(|| obs::span(&format!("hier.partition.l{level}")));
+            group_of = ms.split_level(tasks, &group_of, num_groups, level);
+            let a = arities[level];
+            // Positions covered by one child slot at this level.
+            let child_block = self.hier.block(level - 1);
+            self.place_siblings(tasks, topo, &mut group_of, num_groups, a, child_block);
+            num_groups *= a;
+            self.propagate_terminals(tasks, topo, &mut group_of, num_groups, a, child_block);
+            if prof {
+                obs::counter_add(&format!("hier.level.{level}.groups"), num_groups as u64);
+            }
+            drop(lvl_span);
+        }
+        group_of
+    }
+
+    /// Relabel the `a` children of every parent group so that heavily
+    /// communicating siblings land on nearby child slots: a serial TopoLB
+    /// over the slot-representative processors (first machine node of
+    /// each child block), per parent.
+    fn place_siblings(
+        &self,
+        tasks: &TaskGraph,
+        topo: &dyn Topology,
+        group_of: &mut [usize],
+        num_parents: usize,
+        a: usize,
+        child_block: usize,
+    ) {
+        if a == 1 {
+            return;
+        }
+        // Cross-child edge weight per parent, one pass over all edges.
+        let mut mats = vec![0f64; num_parents * a * a];
+        for (u, v, w) in tasks.edges() {
+            let (gu, gv) = (group_of[u], group_of[v]);
+            if gu / a == gv / a && gu != gv {
+                let parent = gu / a;
+                let (ju, jv) = (gu % a, gv % a);
+                mats[parent * a * a + ju * a + jv] += w;
+                mats[parent * a * a + jv * a + ju] += w;
+            }
+        }
+        let inner = TopoLb::with_parallelism(EstimationOrder::Second, Parallelism::serial());
+        let mut perm_of_parent: Vec<Option<Vec<usize>>> = vec![None; num_parents];
+        for parent in 0..num_parents {
+            let mat = &mats[parent * a * a..(parent + 1) * a * a];
+            if mat.iter().all(|&w| w == 0.0) {
+                continue; // nothing to localize; keep slot order
+            }
+            let mut b = TaskGraph::builder(a);
+            for j in 0..a {
+                for k in (j + 1)..a {
+                    let w = mat[j * a + k];
+                    if w > 0.0 {
+                        b.add_comm(j, k, w);
+                    }
+                }
+            }
+            let part_graph = b.build();
+            let reps: Vec<NodeId> = (0..a)
+                .map(|s| self.pe((parent * a + s) * child_block))
+                .collect();
+            let slots = Restriction { topo, nodes: &reps };
+            let m = inner.map(&part_graph, &slots);
+            perm_of_parent[parent] = Some((0..a).map(|j| m.proc_of(j)).collect());
+        }
+        for g in group_of.iter_mut() {
+            let parent = *g / a;
+            if let Some(perm) = &perm_of_parent[parent] {
+                *g = parent * a + perm[*g % a];
+            }
+        }
+    }
+
+    /// Terminal propagation (Dunlop–Kernighan): after a level's split,
+    /// the cut only counted edges *inside* each parent — a boundary task
+    /// may sit in the wrong child relative to its neighbors in other
+    /// groups. Greedily move such tasks to the sibling child whose block
+    /// is cheapest against all their neighbors' blocks (every group
+    /// charged at its block-origin processor), most negative gain first,
+    /// capped at `child_block` tasks per child. Deterministic: fixed
+    /// scan order, strict-improvement ties to the lowest child id.
+    fn propagate_terminals(
+        &self,
+        tasks: &TaskGraph,
+        topo: &dyn Topology,
+        group_of: &mut [usize],
+        num_groups: usize,
+        a: usize,
+        child_block: usize,
+    ) {
+        if a == 1 {
+            return;
+        }
+        let mut sizes = vec![0usize; num_groups];
+        for &g in group_of.iter() {
+            sizes[g] += 1;
+        }
+        let gpos = |g: usize| self.pe(g * child_block);
+        // Exact change of the proxy objective for moving `t` into child
+        // `c` (its own group counted at `c`; everyone else where they
+        // currently are, a neighbor in `c` becoming distance 0).
+        let cost_at = |group_of: &[usize], t: TaskId, c: usize| -> f64 {
+            tasks
+                .neighbors(t)
+                .map(|(u, w)| w * topo.distance(gpos(c), gpos(group_of[u])) as f64)
+                .sum()
+        };
+        for _sweep in 0..4 {
+            // Best sibling child for every boundary task.
+            let mut wishes: Vec<(f64, TaskId, usize)> = Vec::new();
+            for (t, &g) in group_of.iter().enumerate() {
+                if !tasks.neighbors(t).any(|(u, _)| group_of[u] != g) {
+                    continue; // interior task; no move can help
+                }
+                let cur = cost_at(group_of, t, g);
+                let parent = g / a;
+                let mut best = (cur, g);
+                for c in parent * a..(parent + 1) * a {
+                    if c != g {
+                        let alt = cost_at(group_of, t, c);
+                        if alt < best.0 - 1e-12 {
+                            best = (alt, c);
+                        }
+                    }
+                }
+                if best.1 != g {
+                    wishes.push((best.0 - cur, t, best.1));
+                }
+            }
+            wishes.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+            let mut changed = 0usize;
+            // Moves, where a child has slack (tasks < processors).
+            let mut unplaced: Vec<(TaskId, usize)> = Vec::new();
+            for &(_, t, c) in &wishes {
+                let g = group_of[t];
+                if g == c {
+                    continue; // satisfied by an earlier exchange
+                }
+                if sizes[c] < child_block {
+                    group_of[t] = c;
+                    sizes[g] -= 1;
+                    sizes[c] += 1;
+                    changed += 1;
+                } else {
+                    unplaced.push((t, c));
+                }
+            }
+            // Exchanges: pair a task wanting c1 -> c2 with one wanting
+            // c2 -> c1 (both lists already sorted most-eager first) and
+            // swap when the exact combined delta is an improvement.
+            let mut by_pair: std::collections::BTreeMap<
+                (usize, usize),
+                (Vec<TaskId>, Vec<TaskId>),
+            > = std::collections::BTreeMap::new();
+            for (t, c) in unplaced {
+                let g = group_of[t];
+                if g == c {
+                    continue;
+                }
+                let e = by_pair.entry((g.min(c), g.max(c))).or_default();
+                if g < c {
+                    e.0.push(t);
+                } else {
+                    e.1.push(t);
+                }
+            }
+            for ((c1, c2), (xs, ys)) in by_pair {
+                for (&x, &y) in xs.iter().zip(ys.iter()) {
+                    if group_of[x] != c1 || group_of[y] != c2 {
+                        continue; // stale
+                    }
+                    let before = cost_at(group_of, x, c1) + cost_at(group_of, y, c2);
+                    group_of[x] = c2;
+                    group_of[y] = c1;
+                    let after = cost_at(group_of, x, c2) + cost_at(group_of, y, c1);
+                    if after - before < -1e-12 {
+                        changed += 1;
+                    } else {
+                        group_of[x] = c1;
+                        group_of[y] = c2;
+                    }
+                }
+            }
+            if changed == 0 {
                 break;
             }
         }
-        mapping
     }
 }
 
-/// Rebalance group sizes to at most `capacity` members each, moving
-/// boundary tasks with minimal cut damage into under-full groups.
-fn enforce_capacities(
-    tasks: &TaskGraph,
-    assignment: &mut [usize],
-    num_groups: usize,
-    capacity: usize,
-) {
-    let n = assignment.len();
-    let mut sizes = vec![0usize; num_groups];
-    for &g in assignment.iter() {
-        sizes[g] += 1;
+/// Auto-chosen hierarchy arities for `p` processors: an innermost level of
+/// up to 16 cores, middle levels near 16, and whatever small remainder
+/// tops it off. Degenerates gracefully (a prime `p` yields a single-level
+/// hierarchy, i.e. flat TopoLB).
+pub fn auto_arities(p: usize) -> Vec<usize> {
+    assert!(p > 0);
+    let a1 = (1..=16usize.min(p))
+        .rev()
+        .find(|&a| p.is_multiple_of(a))
+        .unwrap_or(1);
+    let mut arities = vec![a1];
+    let mut rem = p / a1;
+    while rem > 32 {
+        // Divisor of the remainder in [2, 32] closest to 16.
+        let f = (2..=32)
+            .filter(|&f| rem.is_multiple_of(f))
+            .min_by_key(|&f| (f as i64 - 16).unsigned_abs())
+            .unwrap_or(rem);
+        if f == rem {
+            break;
+        }
+        arities.push(f);
+        rem /= f;
     }
-    while let Some(over) = (0..num_groups).find(|&g| sizes[g] > capacity) {
-        // Receiving group: most under-full (ties -> lowest id).
-        let under = (0..num_groups)
-            .filter(|&g| sizes[g] < capacity)
-            .min_by_key(|&g| (sizes[g], g))
-            .expect("total tasks <= total capacity");
-        // Evict the member of `over` with the smallest connection to it
-        // net of its connection to `under` (least cut damage).
-        let victim = (0..n)
-            .filter(|&t| assignment[t] == over)
-            .min_by(|&a, &b| {
-                let cost = |t: TaskId| -> f64 {
-                    tasks
-                        .neighbors(t)
-                        .map(|(u, w)| {
-                            if assignment[u] == over {
-                                w
-                            } else if assignment[u] == under {
-                                -w
-                            } else {
-                                0.0
-                            }
-                        })
-                        .sum()
+    if rem > 1 {
+        arities.push(rem);
+    }
+    arities
+}
+
+/// A refinement unit: a small fixed set of machine slots (one or two
+/// leaf blocks) plus the tasks living on them. All distance work is
+/// table-driven — a slot×slot matrix and a task×slot external-cost table
+/// are built once (`O(slots² + tasks·ext_deg·slots)` oracle calls), after
+/// which greedy placement and improvement sweeps cost O(1) per candidate.
+///
+/// External neighbors are charged at frozen positions supplied by the
+/// caller (a snapshot during Jacobi refinement, block-origin proxies
+/// during leaf construction), which is what makes units independent and
+/// the parallel result bit-identical to the serial one.
+struct Unit {
+    ms: Vec<TaskId>,
+    nodes: Vec<NodeId>,
+    /// task index -> slot index (usize::MAX = unplaced).
+    slot_of: Vec<usize>,
+    /// slot index -> task index (usize::MAX = free).
+    occupant: Vec<usize>,
+    /// slot×slot distance matrix.
+    dmat: Vec<u32>,
+    /// task×slot cost against frozen external neighbors.
+    ext: Vec<f64>,
+    /// task index -> intra-unit neighbors as (task index, weight).
+    intra: Vec<Vec<(usize, f64)>>,
+}
+
+impl Unit {
+    /// Build tables for `ms` over `nodes`. `local_of` is an n-sized
+    /// scratch array (all `usize::MAX` on entry; restored before
+    /// returning). `ext_pos` gives the frozen position of any task
+    /// outside the unit.
+    fn new(
+        tasks: &TaskGraph,
+        topo: &dyn Topology,
+        ms: Vec<TaskId>,
+        nodes: Vec<NodeId>,
+        local_of: &mut [usize],
+        ext_pos: &dyn Fn(TaskId) -> NodeId,
+    ) -> Unit {
+        let (m, s) = (ms.len(), nodes.len());
+        for (i, &t) in ms.iter().enumerate() {
+            local_of[t] = i;
+        }
+        let mut dmat = vec![0u32; s * s];
+        for a in 0..s {
+            for b in (a + 1)..s {
+                let d = topo.distance(nodes[a], nodes[b]);
+                dmat[a * s + b] = d;
+                dmat[b * s + a] = d;
+            }
+        }
+        let mut ext = vec![0f64; m * s];
+        let mut intra: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (i, &t) in ms.iter().enumerate() {
+            for (u, w) in tasks.neighbors(t) {
+                let li = local_of[u];
+                if li != usize::MAX {
+                    if li != i {
+                        intra[i].push((li, w));
+                    }
+                } else {
+                    let pu = ext_pos(u);
+                    for (sl, &node) in nodes.iter().enumerate() {
+                        ext[i * s + sl] += w * topo.distance(node, pu) as f64;
+                    }
+                }
+            }
+        }
+        for &t in &ms {
+            local_of[t] = usize::MAX;
+        }
+        Unit {
+            ms,
+            nodes,
+            slot_of: vec![usize::MAX; m],
+            occupant: vec![usize::MAX; s],
+            dmat,
+            ext,
+            intra,
+        }
+    }
+
+    /// Load current positions (`proc_of[t]` must be one of the unit's
+    /// nodes for every task in the unit).
+    fn load_positions(&mut self, proc_of: &[NodeId]) {
+        for i in 0..self.ms.len() {
+            let node = proc_of[self.ms[i]];
+            let sl = self
+                .nodes
+                .iter()
+                .position(|&x| x == node)
+                .expect("task on unit slot");
+            self.slot_of[i] = sl;
+            self.occupant[sl] = i;
+        }
+    }
+
+    /// Forget the current placement (before a fresh [`Unit::place_greedy`]).
+    fn reset(&mut self) {
+        self.slot_of.fill(usize::MAX);
+        self.occupant.fill(usize::MAX);
+    }
+
+    /// Total cost of the current placement: external charges plus each
+    /// intra edge once (every edge appears in both endpoints' lists).
+    fn objective(&self) -> f64 {
+        let s = self.nodes.len();
+        let mut total = 0.0;
+        for (i, &sl) in self.slot_of.iter().enumerate() {
+            total += self.ext[i * s + sl];
+            for &(j, w) in &self.intra[i] {
+                total += 0.5 * w * self.dmat[sl * s + self.slot_of[j]] as f64;
+            }
+        }
+        total
+    }
+
+    /// Greedy initial placement: grow the placement task by task, always
+    /// placing the unplaced task most attracted (total edge weight) to
+    /// the placed set on the free slot cheapest against its placed
+    /// neighbors. Each connected component is seeded by its *lightest*
+    /// member — on grid-like clusters that's a corner, which lands on
+    /// slot 0 (the block corner) and lets the growth reproduce the
+    /// cluster's own shape.
+    ///
+    /// `charge_ext` controls whether slot choice also charges the frozen
+    /// external table. During leaf construction externals are only block
+    /// -origin *proxies* — every pull points at a neighbor's corner and
+    /// would shear the internal layout — so leaves pass `false` and let
+    /// [`Unit::sweeps`] orient the block. During cross-leaf refinement
+    /// the externals are real task positions, and charging them lets a
+    /// rebuild re-orient a block toward its actual neighbors. Ties:
+    /// lowest task index, lowest slot index.
+    fn place_greedy(&mut self, charge_ext: bool) {
+        let (m, s) = (self.ms.len(), self.nodes.len());
+        let wdeg: Vec<f64> = (0..m)
+            .map(|i| self.intra[i].iter().map(|&(_, w)| w).sum::<f64>())
+            .collect();
+        let mut attr = vec![0f64; m];
+        for _ in 0..m {
+            let mut next = usize::MAX;
+            for i in 0..m {
+                if self.slot_of[i] != usize::MAX {
+                    continue;
+                }
+                next = if next == usize::MAX {
+                    i
+                } else if attr[i] > attr[next]
+                    || (attr[i] == attr[next] && attr[i] == 0.0 && wdeg[i] < wdeg[next])
+                {
+                    // Strongest attachment wins; among detached tasks
+                    // (fresh components) the lightest — a corner — seeds.
+                    i
+                } else {
+                    next
                 };
-                cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
-            })
-            .expect("over-full group is non-empty");
-        assignment[victim] = under;
-        sizes[over] -= 1;
-        sizes[under] += 1;
+            }
+            let mut best = (f64::INFINITY, usize::MAX);
+            for sl in 0..s {
+                if self.occupant[sl] != usize::MAX {
+                    continue;
+                }
+                let mut cost = if charge_ext {
+                    self.ext[next * s + sl]
+                } else {
+                    0.0
+                };
+                for &(j, w) in &self.intra[next] {
+                    if self.slot_of[j] != usize::MAX {
+                        cost += w * self.dmat[sl * s + self.slot_of[j]] as f64;
+                    }
+                }
+                if cost < best.0 {
+                    best = (cost, sl);
+                }
+            }
+            self.slot_of[next] = best.1;
+            self.occupant[best.1] = next;
+            for &(j, w) in &self.intra[next] {
+                attr[j] += w;
+            }
+        }
+    }
+
+    /// Cost delta of putting task `i` on slot `sl` instead of its
+    /// current slot (intra neighbors at their current slots; task `skip`
+    /// excluded from the intra sum).
+    fn delta_to(&self, i: usize, sl: usize, skip: usize) -> f64 {
+        let s = self.nodes.len();
+        let cur = self.slot_of[i];
+        let mut d = self.ext[i * s + sl] - self.ext[i * s + cur];
+        for &(j, w) in &self.intra[i] {
+            if j != skip {
+                let sj = self.slot_of[j];
+                d += w * (self.dmat[sl * s + sj] as f64 - self.dmat[cur * s + sj] as f64);
+            }
+        }
+        d
+    }
+
+    /// Greedy improvement sweeps (pair swaps and moves to free slots),
+    /// up to `max_sweeps` or until none improves. Returns accepted
+    /// changes.
+    fn sweeps(&mut self, max_sweeps: usize) -> u64 {
+        let (m, s) = (self.ms.len(), self.nodes.len());
+        let mut changes = 0u64;
+        for _ in 0..max_sweeps {
+            let mut round = 0u64;
+            for i in 0..m {
+                let si = self.slot_of[i];
+                for sl in 0..s {
+                    if sl == si {
+                        continue;
+                    }
+                    let j = self.occupant[sl];
+                    if j == usize::MAX {
+                        if self.delta_to(i, sl, usize::MAX) < -1e-12 {
+                            self.occupant[si] = usize::MAX;
+                            self.occupant[sl] = i;
+                            self.slot_of[i] = sl;
+                            round += 1;
+                            break; // i moved; restart its scan at next i
+                        }
+                    } else if j > i && self.delta_to(i, sl, j) + self.delta_to(j, si, i) < -1e-12 {
+                        self.occupant[si] = j;
+                        self.occupant[sl] = i;
+                        self.slot_of[i] = sl;
+                        self.slot_of[j] = si;
+                        round += 1;
+                        break;
+                    }
+                }
+            }
+            changes += round;
+            if round == 0 {
+                break;
+            }
+        }
+        changes
+    }
+
+    /// Emit (task, machine node) assignments.
+    fn emit(&self, out: &mut Vec<(TaskId, NodeId)>) {
+        for (i, &t) in self.ms.iter().enumerate() {
+            out.push((t, self.nodes[self.slot_of[i]]));
+        }
     }
 }
 
-impl Mapper for HierarchicalTopoLb {
-    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
-        // The hierarchical scheme needs grid structure; accept machines
-        // whose name round-trips through a Torus of the same geometry.
-        // Callers with a concrete `Torus` should prefer `map_torus`.
-        panic!(
-            "HierarchicalTopoLb requires a concrete Torus machine; call \
-             map_torus(tasks, &torus) instead (machine given: {}, {} tasks)",
-            topo.name(),
-            tasks.num_tasks()
-        );
+/// A sub-machine: the metric of `topo` restricted to `nodes` (local id
+/// `i` is machine node `nodes[i]`). What the leaf TopoLB runs against.
+struct Restriction<'a> {
+    topo: &'a dyn Topology,
+    nodes: &'a [NodeId],
+}
+
+impl Topology for Restriction<'_> {
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.topo.distance(self.nodes[a], self.nodes[b])
     }
 
     fn name(&self) -> String {
-        let b: Vec<String> = self.blocks_per_dim.iter().map(|x| x.to_string()).collect();
-        format!("HierTopoLB({})", b.join("x"))
+        format!("Restrict({} of {})", self.nodes.len(), self.topo.name())
+    }
+}
+
+impl Mapper for HierMapper {
+    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
+        let n = tasks.num_tasks();
+        let p = self.hier.num_nodes();
+        assert_eq!(
+            p,
+            topo.num_nodes(),
+            "hierarchy {} covers {p} processors but machine {} has {}",
+            self.hier.name(),
+            topo.name(),
+            topo.num_nodes()
+        );
+        assert!(n <= p, "need at least as many processors as tasks");
+        let _span = obs::span("hier.map");
+        let prof = obs::enabled();
+        if prof {
+            obs::meta_set("hier.shape", &self.hier.shape_spec());
+            obs::meta_set("hier.dist", &self.hier.dist_spec());
+        }
+        if n == 0 {
+            return Mapping::new(Vec::new(), p);
+        }
+        let exec = Executor::new(self.par);
+        let a1 = self.hier.arities()[0];
+        let leaves = p / a1;
+
+        // --- 1. group tasks into innermost containers ---
+        let leaf_of = match self.descent {
+            Descent::Coarsen => self.coarsen_to_leaves(tasks, topo),
+            Descent::Multisection => self.partition_to_leaves(tasks, topo),
+        };
+
+        // --- 2. independent leaf sub-mappings on the pool ---
+        let members: Vec<Vec<TaskId>> = {
+            let mut v = vec![Vec::new(); leaves];
+            for (t, &g) in leaf_of.iter().enumerate() {
+                v[g].push(t);
+            }
+            v
+        };
+        let leaf_span = obs::span("hier.leaf_map");
+        if prof {
+            obs::counter_add("hier.leaves", leaves as u64);
+            obs::counter_add("hier.leaf_tasks", n as u64);
+        }
+        // Proxy position for a yet-unmapped neighbor leaf: its block
+        // origin. Known before any leaf is mapped, so leaves can orient
+        // themselves toward their neighbors without ordering constraints.
+        let leaf_origin: Vec<NodeId> = (0..leaves).map(|g| self.pe(g * a1)).collect();
+        let placed: Vec<Vec<(TaskId, NodeId)>> = exec.map_chunks(leaves, a1 * a1, |range| {
+            let mut out = Vec::new();
+            let mut local_of = vec![usize::MAX; n];
+            for leaf in range.clone() {
+                let ms = &members[leaf];
+                if ms.is_empty() {
+                    continue;
+                }
+                if ms.len() == 1 {
+                    out.push((ms[0], self.pe(leaf * a1)));
+                    continue;
+                }
+                let leaf_nodes: Vec<NodeId> = (0..a1).map(|o| self.pe(leaf * a1 + o)).collect();
+                let origin_of = |u: TaskId| leaf_origin[leaf_of[u]];
+                let mut unit = Unit::new(
+                    tasks,
+                    topo,
+                    ms.clone(),
+                    leaf_nodes,
+                    &mut local_of,
+                    &origin_of,
+                );
+                unit.place_greedy(false);
+                unit.sweeps(4 + self.leaf_refine_passes);
+                unit.emit(&mut out);
+            }
+            out
+        });
+        let mut proc_of = vec![usize::MAX; n];
+        for chunk in placed {
+            for (t, node) in chunk {
+                proc_of[t] = node;
+            }
+        }
+        drop(leaf_span);
+
+        // --- 3. cross-leaf Jacobi swap refinement ---
+        // Each pass pairs up leaves that currently exchange the most
+        // bytes — a deterministic greedy maximal matching on the live
+        // cross-leaf traffic matrix, heaviest pair first — and sweeps
+        // each pair as one unit, letting tasks migrate across the leaf
+        // boundary to repair grouping raggedness the leaf-local sweeps
+        // cannot touch (a pair unit's sweep covers its intra-leaf pairs
+        // too, so no single-leaf schedule is needed). Matching by
+        // traffic, not by leaf id, means *every* communicating pair of
+        // blocks eventually meets, whatever the machine's shape. Every
+        // unit reads the pass snapshot for outside neighbors and owns a
+        // disjoint set of tasks, so parallel == serial exactly.
+        //
+        // A pair that sweeps to convergence is remembered in `tried` and
+        // not rescheduled until one of its leaves is *dirtied* — changed
+        // by a later pass, or holding a neighbor of a changed task. Both
+        // sets are derived from the merged pass result
+        // (chunking-invariant), so the schedule — and the mapping — stay
+        // identical across thread counts.
+        if leaves > 1 && self.refine_passes > 0 {
+            let _refine_span = obs::span("hier.refine");
+            // Hierarchy position of each machine node (to re-derive leaf
+            // membership after cross-leaf swaps).
+            let node_pos: Vec<usize> = {
+                let mut v = vec![0usize; p];
+                for q in 0..p {
+                    v[self.pe(q)] = q;
+                }
+                v
+            };
+            let leaf_at = |proc_of: &[usize], t: TaskId| node_pos[proc_of[t]] / a1;
+            // Cheapest nonzero hop between nearby processors — the
+            // per-edge floor. A task whose every neighbor already sits at
+            // this floor cannot lower its cost by moving (distinct nodes
+            // are never closer), so a leaf pair containing only such
+            // tasks is provably converged and skipped without building
+            // its tables. Sampled from the first block, which on the
+            // homogeneous machines this mapper targets is the global
+            // minimum; an under-sample merely skips less.
+            let dmin = {
+                let k = a1.max(2).min(p);
+                let mut d = u32::MAX;
+                for x in 0..k {
+                    for y in (x + 1)..k {
+                        d = d.min(topo.distance(self.pe(x), self.pe(y)));
+                    }
+                }
+                d
+            };
+            let mut tried: std::collections::BTreeSet<(usize, usize)> =
+                std::collections::BTreeSet::new();
+            for _pass in 0..4 * self.refine_passes {
+                // Membership and cross-leaf traffic follow current
+                // positions.
+                let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); leaves];
+                for t in 0..n {
+                    members[leaf_at(&proc_of, t)].push(t);
+                }
+                let mut cross: std::collections::BTreeMap<(usize, usize), f64> =
+                    std::collections::BTreeMap::new();
+                let mut discontent = vec![false; leaves];
+                for (x, y, w) in tasks.edges() {
+                    let (gx, gy) = (leaf_at(&proc_of, x), leaf_at(&proc_of, y));
+                    if topo.distance(proc_of[x], proc_of[y]) > dmin {
+                        discontent[gx] = true;
+                        discontent[gy] = true;
+                    }
+                    if gx != gy {
+                        *cross.entry((gx.min(gy), gx.max(gy))).or_insert(0.0) += w;
+                    }
+                }
+                let mut cands: Vec<((usize, usize), f64)> = cross
+                    .into_iter()
+                    .filter(|(k, _)| (discontent[k.0] || discontent[k.1]) && !tried.contains(k))
+                    .collect();
+                cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                let mut matched = vec![false; leaves];
+                let mut units: Vec<(usize, usize)> = Vec::new();
+                for ((g1, g2), _) in cands {
+                    if !matched[g1] && !matched[g2] {
+                        matched[g1] = true;
+                        matched[g2] = true;
+                        units.push((g1, g2));
+                    }
+                }
+                if units.is_empty() {
+                    break; // every communicating pair swept to convergence
+                }
+                if prof {
+                    obs::counter_add("hier.refine.passes", 1);
+                }
+                let snapshot = proc_of.clone();
+                // Per chunk: (position updates, changed unit indices, swaps).
+                type RefineChunk = (Vec<(TaskId, NodeId)>, Vec<usize>, u64);
+                let rounds: Vec<RefineChunk> = exec.map_chunks(units.len(), 4 * a1 * a1, |range| {
+                    let mut updates = Vec::new();
+                    let mut changed_units = Vec::new();
+                    let mut swaps = 0u64;
+                    let mut local_of = vec![usize::MAX; n];
+                    for ui in range.clone() {
+                        let (g1, g2) = units[ui];
+                        let mut ms = members[g1].clone();
+                        ms.extend_from_slice(&members[g2]);
+                        if ms.len() < 2 {
+                            continue;
+                        }
+                        let nodes: Vec<NodeId> = (g1 * a1..(g1 + 1) * a1)
+                            .chain(g2 * a1..(g2 + 1) * a1)
+                            .map(|q| self.pe(q))
+                            .collect();
+                        let frozen = |u: TaskId| snapshot[u];
+                        let mut unit = Unit::new(tasks, topo, ms, nodes, &mut local_of, &frozen);
+                        unit.load_positions(&snapshot);
+                        let unit_swaps = unit.sweeps(4);
+                        // Incremental sweeps can be trapped by a
+                        // mis-*oriented* block (fixing it needs a
+                        // coherent many-task move no single swap
+                        // starts). Also try rebuilding the pair from
+                        // scratch with the real frozen externals
+                        // charged, and keep whichever placement
+                        // scores lower.
+                        let incremental = unit.objective();
+                        let kept: Vec<usize> = unit.slot_of.clone();
+                        unit.reset();
+                        unit.place_greedy(true);
+                        unit.sweeps(4);
+                        let rebuilt = unit.objective() + 1e-9 < incremental;
+                        if !rebuilt {
+                            unit.occupant.fill(usize::MAX);
+                            for (i, &sl) in kept.iter().enumerate() {
+                                unit.slot_of[i] = sl;
+                                unit.occupant[sl] = i;
+                            }
+                        }
+                        if unit_swaps > 0 || rebuilt {
+                            swaps += unit_swaps.max(1);
+                            changed_units.push(ui);
+                            unit.emit(&mut updates);
+                        }
+                    }
+                    (updates, changed_units, swaps)
+                });
+                let mut total = 0u64;
+                let mut changed: Vec<usize> = Vec::new();
+                for (updates, changed_units, swaps) in rounds {
+                    total += swaps;
+                    changed.extend(changed_units);
+                    for (t, node) in updates {
+                        proc_of[t] = node;
+                    }
+                }
+                if prof {
+                    obs::counter_add("hier.refine.swaps", total);
+                }
+                // Every scheduled pair has now been swept to convergence
+                // against this pass's snapshot; changed pairs dirty their
+                // leaves and their tasks' neighbor leaves, re-enabling
+                // any remembered pair that touches them. All derived
+                // from the merged result, so identical for every
+                // chunking.
+                for &(g1, g2) in &units {
+                    tried.insert((g1, g2));
+                }
+                if total == 0 {
+                    continue; // nothing moved; remaining pairs next pass
+                }
+                let mut dirtied = vec![false; leaves];
+                for &ui in &changed {
+                    let (g1, g2) = units[ui];
+                    dirtied[g1] = true;
+                    dirtied[g2] = true;
+                    for &t in members[g1].iter().chain(members[g2].iter()) {
+                        for (u, _) in tasks.neighbors(t) {
+                            dirtied[leaf_at(&proc_of, u)] = true;
+                        }
+                    }
+                }
+                tried.retain(|&(g1, g2)| !dirtied[g1] && !dirtied[g2]);
+            }
+        }
+        Mapping::new(proc_of, p)
+    }
+
+    fn name(&self) -> String {
+        format!("HierMapper({})", self.hier.shape_spec())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{metrics, Mapper, RandomMap};
+    use crate::{metrics, RandomMap, RefineTopoLb};
     use topomap_taskgraph::gen;
+    use topomap_topology::{FatTree, GraphTopology};
 
     #[test]
-    fn valid_injective_mapping() {
+    fn valid_injective_mapping_on_torus() {
         let tasks = gen::stencil2d(8, 8, 1024.0, false);
         let machine = Torus::torus_2d(8, 8);
-        let h = HierarchicalTopoLb::new(vec![2, 2]);
-        let m = h.map_torus(&tasks, &machine);
+        let h = HierMapper::for_torus_with(&machine, &[4, 4, 4]).unwrap();
+        let m = h.map(&tasks, &machine);
         let mut seen = [false; 64];
         for t in 0..64 {
             assert!(!seen[m.proc_of(t)]);
@@ -260,77 +1206,183 @@ mod tests {
 
     #[test]
     fn close_to_flat_topolb_on_stencil() {
-        let tasks = gen::stencil2d(8, 8, 1024.0, false);
-        let machine = Torus::torus_2d(8, 8);
-        let flat =
-            metrics::hops_per_byte(&tasks, &machine, &TopoLb::default().map(&tasks, &machine));
-        let hier = metrics::hops_per_byte(
+        let tasks = gen::stencil2d(16, 16, 1024.0, false);
+        let machine = Torus::torus_2d(16, 16);
+        let flat = metrics::hops_per_byte(
             &tasks,
             &machine,
-            &HierarchicalTopoLb::new(vec![2, 2]).map_torus(&tasks, &machine),
+            &RefineTopoLb::new(TopoLb::default()).map(&tasks, &machine),
         );
+        let h = HierMapper::for_torus_with(&machine, &[16, 4, 4]).unwrap();
+        let hier = metrics::hops_per_byte(&tasks, &machine, &h.map(&tasks, &machine));
         let rnd =
             metrics::hops_per_byte(&tasks, &machine, &RandomMap::new(1).map(&tasks, &machine));
         assert!(
-            hier < 0.65 * rnd,
+            hier < 0.5 * rnd,
             "hierarchical {hier} must beat random {rnd}"
         );
-        assert!(hier <= 2.5 * flat, "hierarchical {hier} vs flat {flat}");
+        assert!(
+            hier <= 1.35 * flat,
+            "hierarchical {hier} vs flat+refine {flat}"
+        );
     }
 
     #[test]
     fn works_on_3d_machine() {
         let tasks = gen::stencil3d(4, 4, 4, 512.0, false);
         let machine = Torus::torus_3d(4, 4, 4);
-        let h = HierarchicalTopoLb::new(vec![2, 2, 1]);
-        let m = h.map_torus(&tasks, &machine);
+        let h = HierMapper::for_torus_with(&machine, &[8, 8]).unwrap();
+        let m = h.map(&tasks, &machine);
         let hpb = metrics::hops_per_byte(&tasks, &machine, &m);
         assert!(hpb < 2.5, "hpb {hpb}");
     }
 
     #[test]
-    fn single_block_falls_back_to_flat() {
-        let tasks = gen::stencil2d(4, 4, 1.0, false);
-        let machine = Torus::torus_2d(4, 4);
-        let h = HierarchicalTopoLb::new(vec![1, 1]);
-        let flat = TopoLb::default().map(&tasks, &machine);
-        assert_eq!(h.map_torus(&tasks, &machine), flat);
+    fn fattree_machine_via_identity_hierarchy() {
+        let tasks = gen::stencil2d(8, 8, 256.0, false);
+        let machine = FatTree::new(4, 3);
+        let h = HierMapper::new(Hierarchy::from_fattree(&machine));
+        let m = h.map(&tasks, &machine);
+        assert_eq!(m.num_tasks(), 64);
+        let hier = metrics::hops_per_byte(&tasks, &machine, &m);
+        let rnd =
+            metrics::hops_per_byte(&tasks, &machine, &RandomMap::new(7).map(&tasks, &machine));
+        assert!(hier < rnd, "hier {hier} vs random {rnd}");
+    }
+
+    #[test]
+    fn arbitrary_metric_machine_via_identity_over() {
+        let machine = GraphTopology::ring(32);
+        let hier = Hierarchy::identity_over(&machine, &[4, 8]).unwrap();
+        let tasks = gen::ring(32, 100.0);
+        let m = HierMapper::new(hier).map(&tasks, &machine);
+        assert_eq!(m.num_tasks(), 32);
     }
 
     #[test]
     fn fewer_tasks_than_processors() {
         let tasks = gen::ring(10, 100.0);
         let machine = Torus::torus_2d(4, 4);
-        let h = HierarchicalTopoLb::new(vec![2, 2]);
-        let m = h.map_torus(&tasks, &machine);
+        let h = HierMapper::for_torus_with(&machine, &[4, 4]).unwrap();
+        let m = h.map(&tasks, &machine);
         assert_eq!(m.num_tasks(), 10);
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
-    fn indivisible_blocks_rejected() {
-        let tasks = gen::ring(9, 1.0);
-        let machine = Torus::torus_2d(3, 3);
-        HierarchicalTopoLb::new(vec![2, 3]).map_torus(&tasks, &machine);
+    fn parallel_equals_serial_quick_check() {
+        let tasks = gen::stencil2d(8, 8, 777.0, true);
+        let machine = Torus::torus_2d(8, 8);
+        let mk = |threads: usize| {
+            let mut h = HierMapper::for_torus_with(&machine, &[4, 4, 4]).unwrap();
+            h.par = Parallelism {
+                threads: crate::Threads::Fixed(threads),
+                min_work: 1,
+            };
+            h.map(&tasks, &machine)
+        };
+        let serial = mk(1);
+        assert_eq!(serial, mk(2));
+        assert_eq!(serial, mk(8));
     }
 
     #[test]
-    fn capacity_enforcement_exact() {
-        let tasks = gen::random_graph(40, 3.0, 1.0, 100.0, 4);
-        let mut assignment = vec![0usize; 40]; // everything in group 0
-        enforce_capacities(&tasks, &mut assignment, 4, 10);
-        let mut sizes = vec![0usize; 4];
-        for &g in &assignment {
-            sizes[g] += 1;
+    #[should_panic(expected = "covers")]
+    fn machine_size_mismatch_panics() {
+        let tasks = gen::ring(4, 1.0);
+        let machine = Torus::torus_2d(4, 4);
+        HierMapper::new(Hierarchy::new(vec![4, 8], vec![1, 3])).map(&tasks, &machine);
+    }
+
+    #[test]
+    fn auto_arities_cover_and_shape() {
+        for p in [1usize, 7, 25, 64, 576, 1024, 4096, 16384] {
+            let a = auto_arities(p);
+            assert_eq!(a.iter().product::<usize>(), p, "{a:?}");
+            assert!(a[0] <= 16);
         }
-        assert_eq!(sizes, vec![10, 10, 10, 10]);
+        assert_eq!(auto_arities(4096), vec![16, 16, 16]);
+        assert_eq!(auto_arities(1024), vec![16, 16, 4]);
     }
 
     #[test]
-    fn name_reflects_blocking() {
-        assert_eq!(
-            HierarchicalTopoLb::new(vec![2, 4]).name(),
-            "HierTopoLB(2x4)"
+    fn name_reflects_shape() {
+        let h = HierMapper::new(Hierarchy::new(vec![4, 8], vec![1, 3]));
+        assert_eq!(h.name(), "HierMapper(4:8)");
+    }
+
+    #[test]
+    fn unit_deltas_match_brute_force() {
+        // One pair unit on a small torus; every delta_to-based decision
+        // must match the brute-force hop-bytes change.
+        let tasks = gen::stencil2d(4, 8, 100.0, false);
+        let machine = Torus::torus_2d(4, 8);
+        let h = HierMapper::for_torus_with(&machine, &[8, 4]).unwrap();
+        let m = {
+            let mut h0 = h.clone();
+            h0.refine_passes = 0;
+            h0.map(&tasks, &machine)
+        };
+        let snapshot: Vec<usize> = (0..32).map(|t| m.proc_of(t)).collect();
+        let node_pos = {
+            let mut v = vec![0usize; 32];
+            for q in 0..32 {
+                v[h.pe(q)] = q;
+            }
+            v
+        };
+        let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); 4];
+        for t in 0..32 {
+            members[node_pos[snapshot[t]] / 8].push(t);
+        }
+        let mut ms = members[0].clone();
+        ms.extend_from_slice(&members[1]);
+        let nodes: Vec<usize> = (0..16).map(|q| h.pe(q)).collect();
+        let mut local_of = vec![usize::MAX; 32];
+        let frozen = |u: TaskId| snapshot[u];
+        let mut unit = Unit::new(
+            &tasks,
+            &machine,
+            ms.clone(),
+            nodes.clone(),
+            &mut local_of,
+            &frozen,
         );
+        unit.load_positions(&snapshot);
+        // Brute-force objective of a candidate assignment for unit tasks,
+        // snapshot for everyone else (each edge once).
+        let hb = |slot_of: &[usize]| -> f64 {
+            let pos = |t: TaskId| -> usize {
+                match ms.iter().position(|&x| x == t) {
+                    Some(i) => nodes[slot_of[i]],
+                    None => snapshot[t],
+                }
+            };
+            tasks
+                .edges()
+                .map(|(a, b, w)| w * machine.distance(pos(a), pos(b)) as f64)
+                .sum()
+        };
+        let base = hb(&unit.slot_of);
+        for i in 0..ms.len() {
+            for sl in 0..nodes.len() {
+                if sl == unit.slot_of[i] {
+                    continue;
+                }
+                let j = unit.occupant[sl];
+                let mut trial = unit.slot_of.clone();
+                let predicted = if j == usize::MAX {
+                    trial[i] = sl;
+                    unit.delta_to(i, sl, usize::MAX)
+                } else {
+                    trial.swap(i, j);
+                    unit.delta_to(i, sl, j) + unit.delta_to(j, unit.slot_of[i], i)
+                };
+                let actual = hb(&trial) - base;
+                assert!(
+                    (predicted - actual).abs() < 1e-6,
+                    "i={i} sl={sl} j={j}: predicted {predicted} actual {actual}"
+                );
+            }
+        }
     }
 }

@@ -66,7 +66,7 @@ pub mod topolb;
 pub use anneal::SimulatedAnnealingMap;
 pub use estimation::EstimationOrder;
 pub use genetic::GeneticMap;
-pub use hierarchy::HierarchicalTopoLb;
+pub use hierarchy::{auto_arities, Descent, HierMapper};
 pub use linear::LinearOrderMap;
 pub use optimal::IdentityMap;
 pub use par::{Parallelism, Threads};

@@ -68,7 +68,13 @@ use std::time::Instant;
 
 /// Schema version stamped into every [`Report`]; bump on breaking
 /// changes to the serialized layout (the golden-schema test pins it).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `meta` section: free-form `name = value` string pairs
+/// recorded via [`meta_set`] (thread count, host core count, hierarchy
+/// shape, …) so PROFILE_*.json artifacts are self-describing — e.g. why
+/// the `par.*` counters look serial on a 1-core host. v1 reports (no
+/// `meta` field) still parse; `meta` reads back empty.
+pub const SCHEMA_VERSION: u32 = 2;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static STATE: Mutex<Option<Inner>> = Mutex::new(None);
@@ -197,6 +203,18 @@ pub fn series_extend(name: &str, values: impl IntoIterator<Item = f64>) {
     }
 }
 
+/// Record a metadata string describing the run environment (thread count,
+/// hierarchy shape, host cores, …). Last write wins per name; no-op when
+/// disabled. Metadata lands in the report's `meta` section (schema v2).
+pub fn meta_set(name: &str, value: &str) {
+    if !enabled() {
+        return;
+    }
+    if let Some(inner) = lock().as_mut() {
+        inner.meta.insert(name.to_string(), value.to_string());
+    }
+}
+
 /// Run `f`, adding its wall time in nanoseconds to the named counter.
 /// When disabled this is exactly `f()` — no clock is read.
 #[inline]
@@ -266,6 +284,7 @@ struct Inner {
     spans: Vec<SpanRec>,
     counters: BTreeMap<String, u64>,
     series: BTreeMap<String, Vec<f64>>,
+    meta: BTreeMap<String, String>,
 }
 
 struct SpanRec {
@@ -283,6 +302,7 @@ impl Inner {
             spans: Vec::new(),
             counters: BTreeMap::new(),
             series: BTreeMap::new(),
+            meta: BTreeMap::new(),
         }
     }
 
@@ -318,6 +338,11 @@ impl Inner {
         }
         Report {
             version: SCHEMA_VERSION,
+            meta: self
+                .meta
+                .into_iter()
+                .map(|(name, value)| MetaEntry { name, value })
+                .collect(),
             spans: roots
                 .iter()
                 .map(|&r| build(r, &self.spans, &children, now))
@@ -351,6 +376,13 @@ pub struct SpanNode {
 pub struct CounterEntry {
     pub name: String,
     pub value: u64,
+}
+
+/// One run-environment metadata pair (schema v2; see [`meta_set`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaEntry {
+    pub name: String,
+    pub value: String,
 }
 
 /// One named series with its histogram digest.
@@ -388,24 +420,56 @@ impl SeriesEntry {
     }
 }
 
-/// A drained recording session: span forest + counters + series.
-/// Counters and series are sorted by name; spans keep creation order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A drained recording session: metadata + span forest + counters +
+/// series. Meta, counters, and series are sorted by name; spans keep
+/// creation order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Report {
     pub version: u32,
+    pub meta: Vec<MetaEntry>,
     pub spans: Vec<SpanNode>,
     pub counters: Vec<CounterEntry>,
     pub series: Vec<SeriesEntry>,
+}
+
+/// Hand-written so v1 traces (no `meta` field) still parse — the derive
+/// in the vendored serde stub hard-errors on missing fields.
+impl Deserialize for Report {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Report"))?;
+        let meta = match serde::value::field(obj, "meta") {
+            Ok(m) => Vec::<MetaEntry>::from_value(m)?,
+            Err(_) => Vec::new(),
+        };
+        Ok(Report {
+            version: u32::from_value(serde::value::field(obj, "version")?)?,
+            meta,
+            spans: Vec::<SpanNode>::from_value(serde::value::field(obj, "spans")?)?,
+            counters: Vec::<CounterEntry>::from_value(serde::value::field(obj, "counters")?)?,
+            series: Vec::<SeriesEntry>::from_value(serde::value::field(obj, "series")?)?,
+        })
+    }
 }
 
 impl Report {
     pub fn empty() -> Self {
         Report {
             version: SCHEMA_VERSION,
+            meta: Vec::new(),
             spans: Vec::new(),
             counters: Vec::new(),
             series: Vec::new(),
         }
+    }
+
+    /// Value of a metadata entry, if recorded.
+    pub fn meta(&self, name: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value.as_str())
     }
 
     /// Value of a counter, if recorded.
@@ -468,8 +532,9 @@ impl Report {
 
     /// Serialize to CSV. Columns are `kind,name,a,b`:
     /// `span,<path>,<start_ns>,<elapsed_ns>` (path is `/`-joined
-    /// ancestry), `counter,<name>,<value>,`, and
-    /// `series,<name>,<index>,<value>` one row per observation.
+    /// ancestry), `counter,<name>,<value>,`,
+    /// `series,<name>,<index>,<value>` one row per observation, and
+    /// `meta,<name>,<value>,` rows at the end (schema v2).
     pub fn to_csv(&self) -> String {
         fn csv_escape(s: &str) -> String {
             if s.contains(',') || s.contains('"') || s.contains('\n') {
@@ -505,6 +570,14 @@ impl Report {
                 let _ = writeln!(out, "series,{},{},{}", csv_escape(&s.name), i, v);
             }
         }
+        for m in &self.meta {
+            let _ = writeln!(
+                out,
+                "meta,{},{},",
+                csv_escape(&m.name),
+                csv_escape(&m.value)
+            );
+        }
         out
     }
 
@@ -526,6 +599,9 @@ impl Report {
         }
         let mut out = String::new();
         let _ = writeln!(out, "-- profile (schema v{}) --", self.version);
+        for m in &self.meta {
+            let _ = writeln!(out, "meta {:<35} {}", m.name, m.value);
+        }
         walk(&self.spans, 0, &mut out);
         for c in &self.counters {
             let _ = writeln!(out, "{:<40} {}", c.name, c.value);
@@ -704,6 +780,44 @@ mod tests {
         let r = Report::empty();
         assert_eq!(r.version, SCHEMA_VERSION);
         assert!(r.spans.is_empty() && r.counters.is_empty() && r.series.is_empty());
+        assert!(r.meta.is_empty());
         assert_eq!(r.counter("x"), None);
+    }
+
+    #[test]
+    fn meta_last_write_wins_and_round_trips() {
+        let _g = session();
+        start();
+        meta_set("obs.test.shape", "4:8:16");
+        meta_set("obs.test.shape", "16:16:16");
+        meta_set("obs.test.threads", "8");
+        let r = finish();
+        assert_eq!(r.meta("obs.test.shape"), Some("16:16:16"));
+        assert_eq!(r.meta("obs.test.threads"), Some("8"));
+        assert_eq!(r.meta("missing"), None);
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let csv = r.to_csv();
+        assert!(csv.contains("meta,obs.test.shape,16:16:16,"), "{csv}");
+        assert!(r.summary().contains("obs.test.shape"));
+    }
+
+    #[test]
+    fn meta_is_noop_when_disabled() {
+        let _g = session();
+        disable();
+        meta_set("obs.test.ghost", "x");
+        start();
+        let r = finish();
+        assert_eq!(r.meta("obs.test.ghost"), None);
+    }
+
+    #[test]
+    fn v1_trace_without_meta_still_parses() {
+        let v1 = r#"{"version":1,"spans":[],"counters":[{"name":"k","value":3}],"series":[]}"#;
+        let r = Report::from_json(v1).unwrap();
+        assert_eq!(r.version, 1);
+        assert!(r.meta.is_empty());
+        assert_eq!(r.counter("k"), Some(3));
     }
 }

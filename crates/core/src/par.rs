@@ -28,6 +28,16 @@ use std::time::Instant;
 
 use crate::obs;
 
+/// Default serial-cutoff threshold: a region whose estimated elementary
+/// operation count (`len · work_per_item`) falls below this runs on the
+/// calling thread even when a pool exists — the fork-join handshake costs
+/// on the order of microseconds, so regions under a few thousand
+/// operations lose by parallelizing. Profiles distinguish the two serial
+/// causes: `par.regions.serial` (no pool at all) vs
+/// `par.regions.below_cutoff` (pool present, region too small), with
+/// `par.regions.parallel` counting the regions that actually fanned out.
+pub const DEFAULT_MIN_WORK: usize = 4096;
+
 /// Thread-count selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Threads {
@@ -54,7 +64,7 @@ impl Default for Parallelism {
     fn default() -> Self {
         Parallelism {
             threads: Threads::Auto,
-            min_work: 4096,
+            min_work: DEFAULT_MIN_WORK,
         }
     }
 }
@@ -123,6 +133,12 @@ impl Executor {
     pub fn new(par: Parallelism) -> Self {
         let threads = par.resolved_threads();
         let pool = (threads > 1).then(|| Pool::new(threads));
+        if obs::enabled() {
+            // Self-describing profiles: why par.* counters look serial on
+            // a small host is visible in the artifact itself.
+            obs::meta_set("par.threads", &threads.to_string());
+            obs::meta_set("par.host_cores", &available_threads().to_string());
+        }
         Executor {
             threads,
             min_work: par.min_work,
@@ -155,7 +171,14 @@ impl Executor {
             Some(pool) if len.saturating_mul(work_per_item) >= self.min_work && len > 1 => pool,
             _ => {
                 if prof {
-                    obs::counter_add("par.regions.serial", 1);
+                    // Two distinct serial causes: no pool at all vs pool
+                    // present but the region under the cutoff threshold.
+                    let cause = if self.pool.is_some() {
+                        "par.regions.below_cutoff"
+                    } else {
+                        "par.regions.serial"
+                    };
+                    obs::counter_add(cause, 1);
                     return vec![obs::time_counter("par.serial_ns", || f(0..len))];
                 }
                 return vec![f(0..len)];
@@ -186,7 +209,7 @@ impl Executor {
             });
         }
         if let Some(t) = region_start {
-            obs::counter_add("par.regions", 1);
+            obs::counter_add("par.regions.parallel", 1);
             obs::counter_add("par.chunks", k as u64);
             obs::counter_add("par.wall_ns", t.elapsed().as_nanos() as u64);
         }

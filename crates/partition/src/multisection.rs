@@ -1,0 +1,322 @@
+//! K-way multisection down an explicit hardware hierarchy.
+//!
+//! Generalizes recursive bisection: for a hierarchy `H = a1:a2:…:al`
+//! (innermost first) with level distances `D = d1:…:dl`, the task graph is
+//! split top-down — first into `al` parts, each of those into `a(l-1)`
+//! parts, and so on down to level 2 — leaving *leaf groups* of at most
+//! `a1` tasks, one per innermost container. Because the outermost (most
+//! expensive, largest `d`) cuts are minimized first and each finer cut
+//! only redistributes weight *within* one container, the recursion greedily
+//! minimizes the `d`-weighted cut `Σ w(e) · d(level(e))` that lower-bounds
+//! the hop-bytes of any mapping respecting the hierarchy.
+//!
+//! Every per-group split uses the compactness-oriented [`GreedyGrow`]
+//! partitioner on the induced subgraph, followed by an exact capacity fix-up
+//! ([`enforce_capacities`]) so that each child container is left with no
+//! more tasks than it has processors — the invariant that keeps the
+//! recursion feasible at every level.
+//!
+//! Leaf group ids follow the hierarchy's mixed radix: splitting group `G`
+//! at level `i` into parts `j` yields children `G · ai + j`, which after
+//! the full descent makes leaf id `g` exactly the index of the `g`-th
+//! innermost container (processors `[g·a1, (g+1)·a1)` in hierarchy
+//! position space).
+
+use crate::{GreedyGrow, Partition, Partitioner};
+use topomap_taskgraph::{TaskGraph, TaskId};
+
+/// Top-down k-way multisection over hierarchy arities (innermost first).
+#[derive(Debug, Clone)]
+pub struct Multisection {
+    /// Branching factors, innermost first: `arities[0] = a1` is the leaf
+    /// capacity; levels `1..` are split top-down.
+    pub arities: Vec<usize>,
+}
+
+impl Multisection {
+    pub fn new(arities: Vec<usize>) -> Self {
+        assert!(!arities.is_empty(), "at least one hierarchy level");
+        assert!(arities.iter().all(|&a| a > 0), "zero-arity level");
+        Multisection { arities }
+    }
+
+    /// Number of leaf groups = Π arities\[1..\].
+    pub fn leaf_groups(&self) -> usize {
+        self.arities[1..].iter().product()
+    }
+
+    /// Tasks a leaf group can hold (= processors per innermost container).
+    pub fn leaf_capacity(&self) -> usize {
+        self.arities[0]
+    }
+
+    /// Processors per level-`level` container (0-based: `block(0) = a1`).
+    fn block(&self, level: usize) -> usize {
+        self.arities[..=level].iter().product()
+    }
+
+    /// Split every current group at `level` (a 0-based index into
+    /// `arities`, `1 <= level < arities.len()`) into `arities[level]`
+    /// parts of at most `block(level-1)` tasks each. `group_of` must hold
+    /// ids `< num_groups`; returns the refined ids `parent · a + part`.
+    ///
+    /// Deterministic: groups are processed in id order and each split
+    /// depends only on that group's induced subgraph.
+    pub fn split_level(
+        &self,
+        g: &TaskGraph,
+        group_of: &[usize],
+        num_groups: usize,
+        level: usize,
+    ) -> Vec<usize> {
+        assert!(level >= 1 && level < self.arities.len());
+        let a = self.arities[level];
+        let capacity = self.block(level - 1);
+        let n = g.num_tasks();
+        let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); num_groups];
+        for (t, &gid) in group_of.iter().enumerate() {
+            members[gid].push(t);
+        }
+        let mut out = vec![usize::MAX; n];
+        // Scratch local-index table, reset after each group.
+        let mut local_of = vec![usize::MAX; n];
+        for (gid, ms) in members.iter().enumerate() {
+            if ms.is_empty() {
+                continue;
+            }
+            let local = if a == 1 {
+                vec![0usize; ms.len()]
+            } else {
+                for (i, &t) in ms.iter().enumerate() {
+                    local_of[t] = i;
+                }
+                let mut sub = TaskGraph::builder(ms.len());
+                for (i, &t) in ms.iter().enumerate() {
+                    sub.set_task_weight(i, g.vertex_weight(t));
+                    for (u, w) in g.neighbors(t) {
+                        let j = local_of[u];
+                        if j != usize::MAX && i < j {
+                            sub.add_comm(i, j, w);
+                        }
+                    }
+                }
+                let sub = sub.build();
+                let splitter = GreedyGrow::with_capacity(capacity);
+                let mut assignment = splitter.partition(&sub, a).assignment().to_vec();
+                enforce_capacities(&sub, &mut assignment, a, capacity);
+                for &t in ms {
+                    local_of[t] = usize::MAX;
+                }
+                assignment
+            };
+            for (i, &t) in ms.iter().enumerate() {
+                out[t] = gid * a + local[i];
+            }
+        }
+        out
+    }
+
+    /// Run the full top-down descent and return the leaf-group partition
+    /// (ids `< leaf_groups()`, sizes `<= leaf_capacity()`).
+    pub fn leaf_partition(&self, g: &TaskGraph) -> Partition {
+        let n = g.num_tasks();
+        let p: usize = self.arities.iter().product();
+        assert!(n <= p, "{n} tasks exceed {p} hierarchy processors");
+        let mut group_of = vec![0usize; n];
+        let mut num_groups = 1usize;
+        for level in (1..self.arities.len()).rev() {
+            group_of = self.split_level(g, &group_of, num_groups, level);
+            num_groups *= self.arities[level];
+        }
+        Partition::new(group_of, num_groups)
+    }
+}
+
+impl Partitioner for Multisection {
+    fn partition(&self, g: &TaskGraph, k: usize) -> Partition {
+        assert_eq!(
+            k,
+            self.leaf_groups(),
+            "Multisection produces exactly its leaf-group count"
+        );
+        self.leaf_partition(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "Multisection"
+    }
+}
+
+/// Rebalance group sizes to at most `capacity` members each, moving
+/// boundary tasks with minimal cut damage into under-full groups.
+/// Deterministic (lowest-id tie-breaks throughout).
+pub fn enforce_capacities(
+    tasks: &TaskGraph,
+    assignment: &mut [usize],
+    num_groups: usize,
+    capacity: usize,
+) {
+    let n = assignment.len();
+    let mut sizes = vec![0usize; num_groups];
+    for &g in assignment.iter() {
+        sizes[g] += 1;
+    }
+    while let Some(over) = (0..num_groups).find(|&g| sizes[g] > capacity) {
+        // Receiving group: most under-full (ties -> lowest id).
+        let under = (0..num_groups)
+            .filter(|&g| sizes[g] < capacity)
+            .min_by_key(|&g| (sizes[g], g))
+            .expect("total tasks <= total capacity");
+        // Evict the member of `over` with the smallest connection to it
+        // net of its connection to `under` (least cut damage).
+        let victim = (0..n)
+            .filter(|&t| assignment[t] == over)
+            .min_by(|&a, &b| {
+                let cost = |t: TaskId| -> f64 {
+                    tasks
+                        .neighbors(t)
+                        .map(|(u, w)| {
+                            if assignment[u] == over {
+                                w
+                            } else if assignment[u] == under {
+                                -w
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum()
+                };
+                cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
+            })
+            .expect("over-full group is non-empty");
+        assignment[victim] = under;
+        sizes[over] -= 1;
+        sizes[under] += 1;
+    }
+}
+
+/// The `d`-weighted cut of a leaf assignment: every edge is charged the
+/// level distance of its endpoints' lowest common container (`dists[0]`
+/// for an intra-leaf edge — its endpoints still occupy distinct
+/// processors of one innermost block). This is the quantity the top-down
+/// multisection greedily minimizes, and a lower bound on the hop-bytes of
+/// any hierarchy-respecting mapping.
+pub fn weighted_leaf_cut(
+    g: &TaskGraph,
+    leaf_of: &[usize],
+    arities: &[usize],
+    dists: &[u32],
+) -> f64 {
+    g.edges()
+        .map(|(a, b, w)| {
+            let (mut x, mut y) = (leaf_of[a], leaf_of[b]);
+            let mut level = 0usize;
+            while x != y {
+                level += 1;
+                x /= arities[level];
+                y /= arities[level];
+            }
+            w * dists[level] as f64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topomap_taskgraph::gen;
+
+    #[test]
+    fn leaf_partition_respects_capacities_and_radix() {
+        let g = gen::stencil2d(8, 8, 1024.0, false);
+        let ms = Multisection::new(vec![4, 4, 4]);
+        assert_eq!(ms.leaf_groups(), 16);
+        assert_eq!(ms.leaf_capacity(), 4);
+        let part = ms.leaf_partition(&g);
+        assert_eq!(part.num_parts(), 16);
+        let sizes = part.part_sizes();
+        assert!(sizes.iter().all(|&s| s <= 4), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        // Full graph on a full hierarchy: every leaf exactly full.
+        assert!(sizes.iter().all(|&s| s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn descent_is_deterministic() {
+        let g = gen::random_graph(50, 3.0, 1.0, 500.0, 42);
+        let ms = Multisection::new(vec![2, 4, 8]);
+        let a = ms.leaf_partition(&g);
+        let b = ms.leaf_partition(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_groups_are_consistent_across_levels() {
+        // Tasks sharing a leaf must share every coarser container: the
+        // digits of the leaf id encode the full path.
+        let g = gen::stencil2d(4, 8, 1.0, false);
+        let ms = Multisection::new(vec![2, 4, 4]);
+        let part = ms.leaf_partition(&g);
+        // Re-run only the top split and check it matches the top digit.
+        let top = ms.split_level(&g, &[0; 32], 1, 2);
+        for (t, &digit) in top.iter().enumerate() {
+            assert_eq!(part.part_of(t) / 4, digit, "task {t}");
+        }
+    }
+
+    #[test]
+    fn weighted_cut_beats_scattered_assignment() {
+        let g = gen::stencil2d(8, 8, 1024.0, false);
+        let arities = [4usize, 4, 4];
+        let dists = [1u32, 3, 6];
+        let ms = Multisection::new(arities.to_vec());
+        let part = ms.leaf_partition(&g);
+        let good = weighted_leaf_cut(&g, part.assignment(), &arities, &dists);
+        // Round-robin scattering: same capacities, no locality.
+        let scattered: Vec<usize> = (0..64).map(|t| t % 16).collect();
+        let bad = weighted_leaf_cut(&g, &scattered, &arities, &dists);
+        assert!(
+            good < 0.7 * bad,
+            "multisection cut {good} vs scattered {bad}"
+        );
+    }
+
+    #[test]
+    fn capacity_enforcement_exact() {
+        let tasks = gen::random_graph(40, 3.0, 1.0, 100.0, 4);
+        let mut assignment = vec![0usize; 40]; // everything in group 0
+        enforce_capacities(&tasks, &mut assignment, 4, 10);
+        let mut sizes = vec![0usize; 4];
+        for &g in &assignment {
+            sizes[g] += 1;
+        }
+        assert_eq!(sizes, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn fewer_tasks_than_processors() {
+        let g = gen::ring(10, 100.0);
+        let ms = Multisection::new(vec![4, 2, 4]);
+        let part = ms.leaf_partition(&g);
+        assert_eq!(part.num_tasks(), 10);
+        assert!(part.part_sizes().iter().all(|&s| s <= 4));
+    }
+
+    #[test]
+    fn single_level_hierarchy_is_one_group() {
+        let g = gen::ring(6, 1.0);
+        let ms = Multisection::new(vec![8]);
+        let part = ms.leaf_partition(&g);
+        assert_eq!(part.num_parts(), 1);
+        assert!(part.assignment().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn partitioner_trait_roundtrip() {
+        let g = gen::stencil2d(4, 4, 1.0, false);
+        let ms = Multisection::new(vec![2, 2, 4]);
+        let part = Partitioner::partition(&ms, &g, 8);
+        assert_eq!(part.num_parts(), 8);
+        assert_eq!(Partitioner::name(&ms), "Multisection");
+    }
+}

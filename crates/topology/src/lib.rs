@@ -46,6 +46,7 @@ pub mod cache;
 pub mod coords;
 pub mod fattree;
 pub mod graph;
+pub mod hierarchy;
 pub mod hypercube;
 pub mod stats;
 pub mod torus;
@@ -53,6 +54,7 @@ pub mod torus;
 pub use cache::CachedTopology;
 pub use fattree::FatTree;
 pub use graph::GraphTopology;
+pub use hierarchy::Hierarchy;
 pub use hypercube::Hypercube;
 pub use torus::Torus;
 

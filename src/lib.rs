@@ -50,7 +50,7 @@ pub use topomap_topology as topology;
 pub mod prelude {
     pub use topomap_core::metrics::{hop_bytes, hops_per_byte};
     pub use topomap_core::{
-        EstimationOrder, GeneticMap, HierarchicalTopoLb, IdentityMap, LinearOrderMap, Mapper,
+        Descent, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap, Mapper,
         Mapping, Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, Threads, TopoCentLb,
         TopoLb,
     };
@@ -58,7 +58,8 @@ pub mod prelude {
     pub use topomap_partition::{GreedyLoad, MultilevelKWay, Partition, Partitioner};
     pub use topomap_taskgraph::{TaskGraph, TaskId};
     pub use topomap_topology::{
-        CachedTopology, FatTree, GraphTopology, Hypercube, NodeId, RoutedTopology, Topology, Torus,
+        CachedTopology, FatTree, GraphTopology, Hierarchy, Hypercube, NodeId, RoutedTopology,
+        Topology, Torus,
     };
 }
 

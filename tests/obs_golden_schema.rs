@@ -34,11 +34,27 @@ fn pinned_report() -> obs::Report {
 fn version_is_pinned() {
     assert_eq!(
         obs::SCHEMA_VERSION,
-        1,
+        2,
         "schema version changed: update the golden tests"
     );
     let _l = obs_guard();
     assert_eq!(pinned_report().version, obs::SCHEMA_VERSION);
+}
+
+#[test]
+fn meta_describes_run_environment() {
+    let _l = obs_guard();
+    let r = pinned_report();
+    // A serial fixture still records how it ran: resolved thread count
+    // and how many cores the host offered (value varies by machine; the
+    // key and its format are the schema).
+    assert_eq!(r.meta("par.threads"), Some("1"));
+    let cores: usize = r
+        .meta("par.host_cores")
+        .expect("host core count recorded")
+        .parse()
+        .expect("par.host_cores is an integer");
+    assert!(cores >= 1);
 }
 
 #[test]
@@ -126,6 +142,7 @@ fn json_layout_matches_golden_fields() {
     // the schema promises, spelled exactly.
     for key in [
         "\"version\"",
+        "\"meta\"",
         "\"spans\"",
         "\"counters\"",
         "\"series\"",
@@ -168,13 +185,16 @@ fn csv_layout_matches_golden_rows() {
         "{}",
         lines[3]
     );
-    // Then one row per counter; a serial fixture has no series rows, so
-    // the line count is pinned: header + 3 spans + 11 counters.
-    assert_eq!(lines.len(), 1 + 3 + 11, "{csv}");
+    // Then one row per counter and one per metadata pair (meta rows come
+    // last); a serial fixture has no series rows, so the line count is
+    // pinned: header + 3 spans + 11 counters + 2 meta.
+    assert_eq!(lines.len(), 1 + 3 + 11 + 2, "{csv}");
     assert!(
-        lines[4..].iter().all(|l| l.starts_with("counter,")),
+        lines[4..15].iter().all(|l| l.starts_with("counter,")),
         "{csv}"
     );
+    assert!(lines[15..].iter().all(|l| l.starts_with("meta,")), "{csv}");
     assert!(csv.contains(&format!("counter,topolb.placements,{N_TASKS},\n")));
     assert!(csv.contains("counter,topolb.order.second-order,1,\n"));
+    assert!(csv.contains("meta,par.threads,1,\n"), "{csv}");
 }

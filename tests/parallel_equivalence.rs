@@ -117,6 +117,52 @@ proptest! {
         prop_assert!(after <= before + 1e-9, "{before} -> {after} at {threads} threads");
     }
 
+    /// HierMapper: both descent schemes fan leaf sub-mappings (and the
+    /// cross-leaf refinement units) onto the pool; results must be
+    /// bit-identical to the serial run on every hierarchy family.
+    #[test]
+    fn hier_mapper_parallel_matches_serial(
+        g in arb_task_graph(),
+        family in 0usize..4,
+        multisection in any::<bool>(),
+    ) {
+        // Each family pairs a machine with a hierarchy over >= 25 slots.
+        let (topo, base): (Box<dyn Topology>, HierMapper) = match family {
+            0 => {
+                let t = Torus::torus_2d(8, 8);
+                let h = HierMapper::for_torus_with(&t, &[4, 4, 4]).unwrap();
+                (Box::new(t), h)
+            }
+            1 => {
+                let t = Torus::mesh(&[6, 6]);
+                let h = HierMapper::for_torus_with(&t, &[6, 6]).unwrap();
+                (Box::new(t), h)
+            }
+            2 => {
+                let ft = FatTree::new(2, 5);
+                let h = HierMapper::new(Hierarchy::from_fattree(&ft));
+                (Box::new(ft), h)
+            }
+            _ => {
+                let ring = GraphTopology::ring(32);
+                let h = HierMapper::new(Hierarchy::identity_over(&ring, &[4, 4, 2]).unwrap());
+                (Box::new(ring), h)
+            }
+        };
+        let mut base = base;
+        if multisection {
+            base.descent = Descent::Multisection;
+        }
+        let serial = base.clone().with_parallelism(Parallelism::serial()).map(&g, topo.as_ref());
+        for threads in [2, 8] {
+            let par = base.clone().with_parallelism(eager(threads)).map(&g, topo.as_ref());
+            prop_assert_eq!(
+                &serial, &par,
+                "family {}, multisection {}, {} threads", family, multisection, threads
+            );
+        }
+    }
+
     /// The annealer and the genetic mapper fan out delta/fitness
     /// evaluation only; their search is defined by the RNG streams, so
     /// thread count must not change the result either.
