@@ -19,6 +19,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_profile",
     "exp_scaling",
     "exp_hier",
+    "exp_serve",
 ];
 
 fn main() {

@@ -1,4 +1,4 @@
-//! The four subcommands.
+//! The five subcommands.
 
 use crate::args::Args;
 use crate::specs;
@@ -6,7 +6,13 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use topomap_core::{metrics, obs, Mapping};
 use topomap_netsim::{trace, NetworkConfig, Simulation};
+use topomap_serve::server::{self, Bind, ServeConfig};
 use topomap_taskgraph::io as tgio;
+
+/// Boolean (value-less) flags accepted by the subcommands — the single
+/// list shared by the dispatcher (`run_inner`) and the tests, so a flag
+/// added for one subcommand cannot silently parse differently elsewhere.
+pub const BOOL_FLAGS: &[&str] = &["profile"];
 
 pub const USAGE: &str = "\
 topomap — topology-aware task mapping (IPDPS'06 reproduction)
@@ -21,6 +27,10 @@ USAGE:
   topomap simulate --topology SPEC --tasks FILE --mapping FILE
                    [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
                    [--profile] [--trace-out FILE] [--trace-format json|csv]
+  topomap serve    [--host H] [--port P] [--unix PATH] [--workers N]
+                   [--queue N] [--cache N] [--threads auto|N]
+                   [--deadline-ms MS] [--profile] [--trace-out FILE]
+                   [--trace-format json|csv]
   topomap help
 
 SPECS:
@@ -44,6 +54,16 @@ OBSERVABILITY:
   --profile            print a span/counter summary after the run
   --trace-out FILE     write the full trace report to FILE
   --trace-format FMT   trace file format: json (default) | csv
+
+SERVE:
+  topomap serve runs the persistent mapping daemon (length-prefixed JSON
+  frames; see DESIGN.md §9). --port 0 picks an ephemeral port; the bound
+  address is printed as 'serving on ADDR'. --unix PATH listens on a
+  unix-domain socket instead. --workers bounds concurrent mapping jobs,
+  --queue bounds waiting jobs (beyond it clients get Busy), --cache sizes
+  the distance-oracle/hierarchy LRUs, --deadline-ms sets a default
+  per-request deadline. SIGINT (or a Shutdown request) drains in-flight
+  jobs and exits with a stats summary.
 ";
 
 /// On-disk mapping format.
@@ -157,7 +177,13 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
                  (or spell it '--mapper hier')"
             ));
         }
-        specs::parse_hier_mapper(topo_spec, &topo, hier, args.optional("hier-dist"), par)?
+        specs::parse_hier_mapper(
+            topo_spec,
+            topo.as_topology(),
+            hier,
+            args.optional("hier-dist"),
+            par,
+        )?
     } else {
         if args.optional("hier-dist").is_some() {
             return Err("--hier-dist needs --hierarchy (or --mapper hier)".into());
@@ -254,6 +280,105 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "avg hops:           {:.3}", s.avg_hops);
     let _ = writeln!(out, "network messages:   {}", s.network_messages);
     let _ = writeln!(out, "max link util:      {:.3}", s.max_link_utilization);
+    obs_opts.end(&mut out)?;
+    Ok(out)
+}
+
+/// Set by the SIGINT handler; polled by the serve loop.
+static SIGINT_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    SIGINT_SEEN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Install a SIGINT handler without a libc dependency: `signal(2)` is
+/// declared directly (std already links libc on unix platforms).
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {}
+
+/// `topomap serve` — run the persistent mapping daemon until SIGINT or
+/// a `Shutdown` request, then drain and report stats.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let obs_opts = ObsOpts::from_args(args)?;
+    let bind = match args.optional("unix") {
+        #[cfg(unix)]
+        Some(path) => {
+            if args.optional("host").is_some() || args.optional("port").is_some() {
+                return Err("--unix and --host/--port are mutually exclusive".into());
+            }
+            Bind::Unix(std::path::PathBuf::from(path))
+        }
+        #[cfg(not(unix))]
+        Some(_) => return Err("--unix is only supported on unix platforms".into()),
+        None => {
+            let host = args.optional("host").unwrap_or("127.0.0.1");
+            let port: u16 = args.parsed_or("port", 0)?;
+            Bind::Tcp(format!("{host}:{port}"))
+        }
+    };
+    let cfg = ServeConfig {
+        bind,
+        workers: args.parsed_or("workers", 2)?,
+        queue_cap: args.parsed_or("queue", 64)?,
+        cache_cap: args.parsed_or("cache", 32)?,
+        default_deadline_ms: match args.optional("deadline-ms") {
+            Some(ms) => Some(
+                ms.parse()
+                    .map_err(|_| format!("bad --deadline-ms '{ms}'"))?,
+            ),
+            None => None,
+        },
+        par: specs::parse_threads(args.optional("threads").unwrap_or("auto"))?,
+    };
+    if cfg.workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+
+    obs_opts.begin();
+    install_sigint();
+    let handle = server::spawn(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    // Printed (and flushed) before blocking so scripts and tests can
+    // discover the ephemeral port.
+    println!("serving on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !SIGINT_SEEN.load(std::sync::atomic::Ordering::SeqCst) && !handle.stopping() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let stats = handle.join();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "drained; final stats:");
+    let _ = writeln!(
+        out,
+        "  map requests:  {} (ok {}, busy {}, errors {})",
+        stats.requests, stats.ok, stats.busy, stats.errors
+    );
+    let _ = writeln!(
+        out,
+        "  oracle cache:  {} hits / {} misses ({:.0}% hit rate)",
+        stats.oracle_hits,
+        stats.oracle_misses,
+        100.0 * stats.oracle_hit_rate()
+    );
+    let _ = writeln!(
+        out,
+        "  hier cache:    {} hits / {} misses",
+        stats.hier_hits, stats.hier_misses
+    );
     obs_opts.end(&mut out)?;
     Ok(out)
 }
@@ -518,7 +643,7 @@ mod tests {
     fn args_with_profile(v: &[&str]) -> Args {
         Args::parse_with_flags(
             &v.iter().map(|x| x.to_string()).collect::<Vec<_>>(),
-            &["profile"],
+            BOOL_FLAGS,
         )
         .unwrap()
     }

@@ -1,10 +1,11 @@
 //! # topomap-cli
 //!
 //! The library behind the `topomap` command-line tool: spec parsing
-//! (machine and workload descriptions as compact strings), mapper
-//! resolution, and the four subcommands (`gen`, `map`, `eval`,
-//! `simulate`). Kept as a library so every piece is unit-testable; the
-//! binary is a thin `main` that forwards `std::env::args`.
+//! (machine and workload descriptions as compact strings, shared with
+//! `topomap-serve`), mapper resolution, and the five subcommands
+//! (`gen`, `map`, `eval`, `simulate`, `serve`). Kept as a library so
+//! every piece is unit-testable; the binary is a thin `main` that
+//! forwards `std::env::args`.
 //!
 //! ```text
 //! topomap gen      --pattern stencil2d:16x16 --bytes 4096 --out tasks.json
@@ -41,12 +42,13 @@ pub fn run_inner(argv: &[String]) -> Result<String, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing subcommand".into());
     };
-    let args = Args::parse_with_flags(&argv[1..], &["profile"])?;
+    let args = Args::parse_with_flags(&argv[1..], commands::BOOL_FLAGS)?;
     match cmd.as_str() {
         "gen" => commands::cmd_gen(&args),
         "map" => commands::cmd_map(&args),
         "eval" => commands::cmd_eval(&args),
         "simulate" => commands::cmd_simulate(&args),
+        "serve" => commands::cmd_serve(&args),
         "help" | "--help" | "-h" => Ok(commands::USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'")),
     }

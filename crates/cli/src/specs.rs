@@ -1,450 +1,10 @@
-//! Compact string specs for machines, workloads, and mappers.
+//! Spec-string parsing, re-exported from `topomap-serve`.
 //!
-//! | kind | examples |
-//! |------|----------|
-//! | topology | `torus:8x8`, `mesh:4x4x4`, `hypercube:6`, `ring:16`, `star:9`, `crossbar:8`, `fattree:4:3` |
-//! | pattern | `stencil2d:16x16`, `stencil3d:8x8x8`, `pstencil2d:8x8` (periodic), `leanmd:64`, `ring:32`, `all2all:16`, `butterfly:64`, `transpose:8`, `sweep2d:6x6`, `tree:32`, `random:100:4` |
-//! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic` |
+//! The CLI and the mapping server accept the same compact spec strings
+//! (`torus:8x8`, `stencil2d:16x16`, `topolb`, …). The single
+//! implementation — one parser, one loud-error path for malformed
+//! topology/hierarchy specs — lives in [`topomap_serve::specs`] so a
+//! spec that parses locally parses identically on the wire; this module
+//! keeps the long-standing `topomap_cli::specs` path working.
 
-use topomap_core::{
-    auto_arities, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap, Mapper,
-    Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
-};
-use topomap_taskgraph::{gen, TaskGraph};
-use topomap_topology::{
-    FatTree, GraphTopology, Hierarchy, Hypercube, RoutedTopology, Topology, Torus,
-};
-
-/// Parse `AxBxC` into dimension sizes.
-fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
-    let dims: Result<Vec<usize>, _> = s.split('x').map(|p| p.parse::<usize>()).collect();
-    let dims = dims.map_err(|_| format!("bad dimension list '{s}'"))?;
-    if dims.is_empty() || dims.contains(&0) {
-        return Err(format!("bad dimension list '{s}'"));
-    }
-    Ok(dims)
-}
-
-/// A parsed topology, split by capability: `simulate` needs routing,
-/// `map`/`eval` only need the metric.
-pub enum ParsedTopology {
-    Routed(Box<dyn RoutedTopology>),
-    MetricOnly(Box<dyn Topology>),
-}
-
-impl ParsedTopology {
-    pub fn as_topology(&self) -> &dyn Topology {
-        match self {
-            ParsedTopology::Routed(t) => t,
-            ParsedTopology::MetricOnly(t) => t.as_ref(),
-        }
-    }
-
-    pub fn as_routed(&self) -> Result<&dyn RoutedTopology, String> {
-        match self {
-            ParsedTopology::Routed(t) => Ok(t.as_ref()),
-            ParsedTopology::MetricOnly(t) => Err(format!(
-                "topology '{}' is metric-only (no per-link routing); it cannot be simulated",
-                t.name()
-            )),
-        }
-    }
-}
-
-/// Parse a topology spec.
-pub fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
-    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    let routed = |t: Box<dyn RoutedTopology>| Ok(ParsedTopology::Routed(t));
-    match kind {
-        "torus" => routed(Box::new(Torus::torus(&parse_dims(rest)?))),
-        "mesh" => routed(Box::new(Torus::mesh(&parse_dims(rest)?))),
-        "hypercube" => {
-            let d: u32 = rest
-                .parse()
-                .map_err(|_| format!("bad hypercube dims '{rest}'"))?;
-            routed(Box::new(Hypercube::new(d)))
-        }
-        "ring" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad ring size '{rest}'"))?;
-            routed(Box::new(GraphTopology::ring(n)))
-        }
-        "star" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad star size '{rest}'"))?;
-            routed(Box::new(GraphTopology::star(n)))
-        }
-        "crossbar" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad crossbar size '{rest}'"))?;
-            routed(Box::new(GraphTopology::complete(n)))
-        }
-        "fattree" => {
-            let (a, l) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("fattree spec is fattree:ARITY:LEVELS, got '{rest}'"))?;
-            let arity: usize = a.parse().map_err(|_| "bad fattree arity".to_string())?;
-            let levels: u32 = l.parse().map_err(|_| "bad fattree levels".to_string())?;
-            Ok(ParsedTopology::MetricOnly(Box::new(FatTree::new(
-                arity, levels,
-            ))))
-        }
-        other => Err(format!(
-            "unknown topology kind '{other}' (try torus/mesh/hypercube/ring/star/crossbar/fattree)"
-        )),
-    }
-}
-
-/// Parse a workload pattern spec into a task graph. `bytes` scales the
-/// per-message volume; `seed` feeds the random families.
-pub fn parse_pattern(spec: &str, bytes: f64, seed: u64) -> Result<TaskGraph, String> {
-    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    match kind {
-        "stencil2d" | "pstencil2d" => {
-            let d = parse_dims(rest)?;
-            if d.len() != 2 {
-                return Err(format!("{kind} needs WxH, got '{rest}'"));
-            }
-            Ok(gen::stencil2d(
-                d[0],
-                d[1],
-                2.0 * bytes,
-                kind == "pstencil2d",
-            ))
-        }
-        "stencil3d" | "pstencil3d" => {
-            let d = parse_dims(rest)?;
-            if d.len() != 3 {
-                return Err(format!("{kind} needs XxYxZ, got '{rest}'"));
-            }
-            Ok(gen::stencil3d(
-                d[0],
-                d[1],
-                d[2],
-                2.0 * bytes,
-                kind == "pstencil3d",
-            ))
-        }
-        "leanmd" => {
-            let p: usize = rest
-                .parse()
-                .map_err(|_| format!("bad leanmd size '{rest}'"))?;
-            Ok(gen::leanmd(
-                p,
-                &gen::LeanMdConfig {
-                    coord_bytes: bytes,
-                    seed,
-                    ..Default::default()
-                },
-            ))
-        }
-        "ring" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad ring size '{rest}'"))?;
-            Ok(gen::ring(n, bytes))
-        }
-        "all2all" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad all2all size '{rest}'"))?;
-            Ok(gen::all_to_all(n, bytes))
-        }
-        "butterfly" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad butterfly size '{rest}'"))?;
-            Ok(gen::butterfly(n, bytes))
-        }
-        "transpose" => {
-            let s: usize = rest
-                .parse()
-                .map_err(|_| format!("bad transpose side '{rest}'"))?;
-            Ok(gen::transpose(s, bytes))
-        }
-        "sweep2d" => {
-            let d = parse_dims(rest)?;
-            if d.len() != 2 {
-                return Err(format!("sweep2d needs WxH, got '{rest}'"));
-            }
-            Ok(gen::sweep2d(d[0], d[1], bytes))
-        }
-        "tree" => {
-            let n: usize = rest
-                .parse()
-                .map_err(|_| format!("bad tree size '{rest}'"))?;
-            Ok(gen::reduction_tree(n, bytes))
-        }
-        "random" => {
-            let (n, deg) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("random spec is random:N:AVGDEG, got '{rest}'"))?;
-            let n: usize = n.parse().map_err(|_| "bad random size".to_string())?;
-            let deg: f64 = deg.parse().map_err(|_| "bad random degree".to_string())?;
-            Ok(gen::random_graph(n, deg, 0.5 * bytes, 1.5 * bytes, seed))
-        }
-        other => Err(format!("unknown pattern kind '{other}'")),
-    }
-}
-
-/// Parse a `--threads` spec: `auto` (detect, overridable via the
-/// `TOPOMAP_THREADS` environment variable) or a fixed positive count.
-/// Every mapper produces the same result for every setting; threads only
-/// change how fast it is computed.
-pub fn parse_threads(spec: &str) -> Result<Parallelism, String> {
-    match spec {
-        "auto" => Ok(Parallelism::default()),
-        n => {
-            let n: usize = n
-                .parse()
-                .map_err(|_| format!("bad thread count '{n}' (want auto or N>=1)"))?;
-            if n == 0 {
-                return Err("bad thread count '0' (want auto or N>=1)".into());
-            }
-            Ok(Parallelism::fixed(n))
-        }
-    }
-}
-
-/// Build a [`HierMapper`] from `--hierarchy H` / `--hier-dist D` specs
-/// (`H` like `4:8:16`, innermost level first; omitted = auto-chosen
-/// arities for the machine size). Torus/mesh machines get the block
-/// layout from [`Hierarchy::factor_torus`]; any other machine uses the
-/// identity layout, with level distances derived from its metric
-/// ([`Hierarchy::identity_over`]) unless `--hier-dist` pins them.
-pub fn parse_hier_mapper(
-    topo_spec: &str,
-    topo: &ParsedTopology,
-    hier_spec: Option<&str>,
-    dist_spec: Option<&str>,
-    par: Parallelism,
-) -> Result<Box<dyn Mapper>, String> {
-    let t = topo.as_topology();
-    let arities = match hier_spec {
-        Some(h) => Hierarchy::parse_arities(h)?,
-        None => auto_arities(t.num_nodes()),
-    };
-    if let Some(i) = arities.iter().position(|&a| a == 0) {
-        return Err(format!(
-            "hierarchy level {} has zero children (every level must be >= 1)",
-            i + 1
-        ));
-    }
-    let (kind, rest) = topo_spec.split_once(':').unwrap_or((topo_spec, ""));
-    let mapper = if kind == "torus" || kind == "mesh" {
-        let grid = if kind == "torus" {
-            Torus::torus(&parse_dims(rest)?)
-        } else {
-            Torus::mesh(&parse_dims(rest)?)
-        };
-        let (hier, pe_order) = Hierarchy::factor_torus(&grid, &arities)?;
-        let hier = match dist_spec {
-            Some(d) => Hierarchy::try_new(arities, Hierarchy::parse_dists(d)?)?,
-            None => hier,
-        };
-        HierMapper::with_layout(hier, pe_order)
-    } else {
-        let hier = match dist_spec {
-            Some(d) => {
-                let h = Hierarchy::try_new(arities, Hierarchy::parse_dists(d)?)?;
-                if h.num_nodes() != t.num_nodes() {
-                    return Err(format!(
-                        "hierarchy covers {} processors but the machine has {}",
-                        h.num_nodes(),
-                        t.num_nodes()
-                    ));
-                }
-                h
-            }
-            None => Hierarchy::identity_over(t, &arities)?,
-        };
-        HierMapper::new(hier)
-    };
-    Ok(Box::new(mapper.with_parallelism(par)))
-}
-
-/// Resolve a mapper spec. `par` configures the deterministic parallel
-/// execution layer for the mappers that support it.
-pub fn parse_mapper(spec: &str, seed: u64, par: Parallelism) -> Result<Box<dyn Mapper>, String> {
-    match spec {
-        "random" => Ok(Box::new(RandomMap::new(seed))),
-        "topolb" => Ok(Box::new(TopoLb {
-            par,
-            ..TopoLb::default()
-        })),
-        "topolb-first" => Ok(Box::new(TopoLb::with_parallelism(
-            EstimationOrder::First,
-            par,
-        ))),
-        "topolb-third" => Ok(Box::new(TopoLb::with_parallelism(
-            EstimationOrder::Third,
-            par,
-        ))),
-        "topocentlb" => Ok(Box::new(TopoCentLb)),
-        "refine" => Ok(Box::new(RefineTopoLb::with_parallelism(
-            TopoLb {
-                par,
-                ..TopoLb::default()
-            },
-            par,
-        ))),
-        "identity" => Ok(Box::new(IdentityMap)),
-        "linear" => Ok(Box::new(LinearOrderMap::bfs())),
-        "anneal" => Ok(Box::new(SimulatedAnnealingMap {
-            par,
-            ..SimulatedAnnealingMap::new(seed)
-        })),
-        "genetic" => Ok(Box::new(GeneticMap {
-            par,
-            ..GeneticMap::new(seed)
-        })),
-        other => Err(format!(
-            "unknown mapper '{other}' (try random/topolb/topolb-first/topolb-third/\
-             topocentlb/refine/identity/linear/anneal/genetic)"
-        )),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn topology_specs_parse() {
-        for (spec, n) in [
-            ("torus:4x4", 16),
-            ("mesh:2x3x4", 24),
-            ("hypercube:5", 32),
-            ("ring:7", 7),
-            ("star:5", 5),
-            ("crossbar:6", 6),
-            ("fattree:2:3", 8),
-        ] {
-            let t = parse_topology(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
-            assert_eq!(t.as_topology().num_nodes(), n, "{spec}");
-        }
-    }
-
-    #[test]
-    fn fattree_is_metric_only() {
-        let t = parse_topology("fattree:4:2").unwrap();
-        assert!(t.as_routed().is_err());
-        assert!(parse_topology("torus:4x4").unwrap().as_routed().is_ok());
-    }
-
-    #[test]
-    fn bad_topology_specs_rejected() {
-        for spec in ["torus:0x4", "torus:", "nope:3", "hypercube:x", "fattree:4"] {
-            assert!(parse_topology(spec).is_err(), "{spec} should fail");
-        }
-    }
-
-    #[test]
-    fn pattern_specs_parse() {
-        for (spec, n) in [
-            ("stencil2d:4x4", 16),
-            ("pstencil2d:4x4", 16),
-            ("stencil3d:2x2x2", 8),
-            ("ring:9", 9),
-            ("all2all:5", 5),
-            ("butterfly:8", 8),
-            ("transpose:3", 9),
-            ("sweep2d:3x3", 9),
-            ("tree:10", 10),
-            ("random:20:3", 20),
-        ] {
-            let g = parse_pattern(spec, 1000.0, 1).unwrap_or_else(|e| panic!("{spec}: {e}"));
-            assert_eq!(g.num_tasks(), n, "{spec}");
-        }
-        let md = parse_pattern("leanmd:8", 1000.0, 1).unwrap();
-        assert_eq!(md.num_tasks(), 3240 + 8);
-    }
-
-    #[test]
-    fn periodic_vs_open_stencil_differ() {
-        let open = parse_pattern("stencil2d:4x4", 1.0, 0).unwrap();
-        let per = parse_pattern("pstencil2d:4x4", 1.0, 0).unwrap();
-        assert!(per.num_edges() > open.num_edges());
-    }
-
-    #[test]
-    fn mapper_specs_parse() {
-        for spec in [
-            "random",
-            "topolb",
-            "topolb-first",
-            "topolb-third",
-            "topocentlb",
-            "refine",
-            "identity",
-            "linear",
-            "anneal",
-            "genetic",
-        ] {
-            assert!(
-                parse_mapper(spec, 1, Parallelism::default()).is_ok(),
-                "{spec}"
-            );
-        }
-        assert!(parse_mapper("bogus", 1, Parallelism::default()).is_err());
-    }
-
-    #[test]
-    fn hier_mapper_specs_parse() {
-        let par = Parallelism::default();
-        // Torus gets a factored block layout; auto arities when omitted.
-        let torus = parse_topology("torus:8x8").unwrap();
-        for h in [Some("4:4:4"), Some("16:4"), None] {
-            let m = parse_hier_mapper("torus:8x8", &torus, h, None, par)
-                .unwrap_or_else(|e| panic!("{h:?}: {e}"));
-            assert!(m.name().starts_with("HierMapper("), "{}", m.name());
-        }
-        // Fat-trees (and any non-grid machine) take the identity layout.
-        let ft = parse_topology("fattree:2:3").unwrap();
-        let m = parse_hier_mapper("fattree:2:3", &ft, Some("2:2:2"), None, par).unwrap();
-        assert_eq!(m.name(), "HierMapper(2:2:2)");
-        // Explicit distance ladder.
-        let m =
-            parse_hier_mapper("fattree:2:3", &ft, Some("2:2:2"), Some("1:10:100"), par).unwrap();
-        assert_eq!(m.name(), "HierMapper(2:2:2)");
-    }
-
-    #[test]
-    fn malformed_hierarchy_specs_rejected() {
-        let par = Parallelism::default();
-        let torus = parse_topology("torus:8x8").unwrap();
-        for (h, d, needle) in [
-            // Zero-arity level.
-            ("4:0:8", None, "zero children"),
-            // Trailing colon.
-            ("4:8:", None, "empty level"),
-            // Garbage level.
-            ("4:x:8", None, "not a non-negative integer"),
-            // Product does not cover the machine.
-            ("4:4", None, "64"),
-            // Distance count mismatch.
-            ("4:4:4", Some("1:10"), "distances"),
-            // Decreasing distances.
-            ("4:4:4", Some("10:5:1"), "non-decreasing"),
-        ] {
-            let err = match parse_hier_mapper("torus:8x8", &torus, Some(h), d, par) {
-                Ok(_) => panic!("H={h} D={d:?} should fail"),
-                Err(e) => e,
-            };
-            assert!(err.contains(needle), "H={h} D={d:?}: {err}");
-        }
-    }
-
-    #[test]
-    fn threads_specs_parse() {
-        assert!(parse_threads("auto").is_ok());
-        assert!(parse_threads("1").is_ok());
-        assert!(parse_threads("8").is_ok());
-        for bad in ["0", "-1", "many", ""] {
-            assert!(parse_threads(bad).is_err(), "'{bad}' should fail");
-        }
-    }
-}
+pub use topomap_serve::specs::*;

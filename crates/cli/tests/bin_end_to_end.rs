@@ -173,6 +173,66 @@ fn profiled_map_and_simulate_emit_traces() {
 }
 
 #[test]
+fn serve_subcommand_answers_requests_then_drains() {
+    use std::io::{BufRead, BufReader};
+    use topomap_serve::client::Client;
+    use topomap_serve::proto::{MapRequest, Response};
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_topomap"))
+        .args(["serve", "--port", "0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary runs");
+
+    // The server prints its bound address before accepting connections.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server printed a banner")
+        .expect("banner is utf-8");
+    let addr = banner
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .trim()
+        .to_string();
+
+    let mut client = Client::connect_tcp(&addr).expect("connect to spawned server");
+    assert_eq!(client.ping().expect("ping"), topomap_serve::PROTO_VERSION);
+
+    let tasks = topomap_taskgraph::gen::stencil2d(6, 6, 2048.0, false);
+    let resp = client
+        .map(MapRequest {
+            id: 7,
+            topology: "torus:6x6".to_string(),
+            mapper: "topolb".to_string(),
+            hierarchy: None,
+            hier_dist: None,
+            seed: 0,
+            deadline_ms: Some(10_000),
+            database: topomap_lb::LbDatabase::from_task_graph(&tasks),
+        })
+        .expect("map request");
+    match resp {
+        Response::MapOk {
+            id, proc_of_task, ..
+        } => {
+            assert_eq!(id, 7);
+            assert_eq!(proc_of_task.len(), 36);
+        }
+        other => panic!("expected MapOk, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "serve exited nonzero");
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    let tail = rest.join("\n");
+    assert!(tail.contains("drained"), "missing drain summary: {tail}");
+}
+
+#[test]
 fn errors_exit_nonzero_with_usage() {
     let (ok, _out, err) = topomap(&["map", "--topology", "nonsense:3"]);
     assert!(!ok);

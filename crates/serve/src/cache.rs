@@ -1,0 +1,239 @@
+//! Dependency-free LRU cache and cache-key fingerprinting.
+//!
+//! The server amortizes two expensive artifacts across requests: the
+//! O(p²) distance-oracle matrix of each topology and the hierarchy
+//! factorization of each (topology, hierarchy) pair. Both are keyed by a
+//! [`Fingerprint`] — a 64-bit FNV-1a hash over the *sorted* `name=value`
+//! pairs of the spec, so the key is stable no matter which order a
+//! client (or a future wire format) lists the fields in.
+//!
+//! The cache is a plain `HashMap` plus a monotonic recency stamp;
+//! eviction scans for the minimum stamp. That is O(len) per insert at
+//! capacity, which is the right trade for the handful-of-dozens entries
+//! a mapping server holds (each worth megabytes), and it keeps the
+//! structure simple enough to property-test exhaustively against a
+//! reference model (`tests/cache_props.rs`).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A 64-bit cache key derived from spec strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fingerprint a set of `name=value` pairs. Pairs are sorted by name
+    /// (then value) before hashing, so the result does not depend on the
+    /// order the caller lists the fields in; names and values are
+    /// length-prefixed so concatenation ambiguities ("ab"+"c" vs
+    /// "a"+"bc") cannot collide structurally.
+    pub fn of_pairs(pairs: &[(&str, &str)]) -> Fingerprint {
+        let mut sorted: Vec<(&str, &str)> = pairs.to_vec();
+        sorted.sort_unstable();
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (name, value) in sorted {
+            eat(&(name.len() as u64).to_le_bytes());
+            eat(name.as_bytes());
+            eat(&(value.len() as u64).to_le_bytes());
+            eat(value.as_bytes());
+        }
+        Fingerprint(h)
+    }
+}
+
+/// A least-recently-used cache with hit/miss counters.
+///
+/// Values are handed out by clone; callers store `Arc<V>` for anything
+/// heavy. Capacity 0 degenerates to a pass-through (nothing is retained).
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V: Clone> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Look up `k`, refreshing its recency and counting a hit or miss.
+    pub fn get(&mut self, k: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(k) {
+            Some((v, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `k → v` as most-recent, evicting the least-recently-used
+    /// entry if the cache is at capacity and `k` is not already present.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&k) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(k, (v, self.tick));
+    }
+
+    /// `get` or build-and-insert. Returns the value and whether it was a
+    /// cache hit.
+    pub fn get_or_insert_with(&mut self, k: K, build: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.get(&k) {
+            return (v, true);
+        }
+        let v = build();
+        self.insert(k, v.clone());
+        (v, false)
+    }
+
+    /// Like [`Self::get_or_insert_with`] but the builder may fail; a
+    /// failed build caches nothing and counts only the miss.
+    pub fn try_get_or_insert_with<E>(
+        &mut self,
+        k: K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        if let Some(v) = self.get(&k) {
+            return Ok((v, true));
+        }
+        let v = build()?;
+        self.insert(k, v.clone());
+        Ok((v, false))
+    }
+
+    /// Keys ordered most-recently-used first (tests and introspection).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut entries: Vec<(&K, u64)> = self.map.iter().map(|(k, (_, s))| (k, *s)).collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.1));
+        entries.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh a; b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was evicted");
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!((c.hits(), c.misses()), (3, 1)); // gets: a, b(miss), a, c
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_grows() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh + overwrite; b becomes LRU
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+        let (v, hit) = c.get_or_insert_with("a", || 7);
+        assert_eq!((v, hit), (7, false));
+    }
+
+    #[test]
+    fn get_or_insert_counts_hit_second_time() {
+        let mut c = LruCache::new(4);
+        let (v, hit) = c.get_or_insert_with("k", || 5);
+        assert_eq!((v, hit), (5, false));
+        let (v, hit) = c.get_or_insert_with("k", || unreachable!());
+        assert_eq!((v, hit), (5, true));
+    }
+
+    #[test]
+    fn failed_build_caches_nothing() {
+        let mut c: LruCache<&str, i32> = LruCache::new(4);
+        let r: Result<_, String> = c.try_get_or_insert_with("k", || Err("nope".into()));
+        assert!(r.is_err());
+        assert!(c.is_empty());
+        let r: Result<_, String> = c.try_get_or_insert_with("k", || Ok(3));
+        assert_eq!(r.unwrap(), (3, false));
+    }
+
+    #[test]
+    fn fingerprint_ignores_pair_order() {
+        let a = Fingerprint::of_pairs(&[("topology", "torus:8x8"), ("hierarchy", "4:4:4")]);
+        let b = Fingerprint::of_pairs(&[("hierarchy", "4:4:4"), ("topology", "torus:8x8")]);
+        assert_eq!(a, b);
+        let c = Fingerprint::of_pairs(&[("topology", "torus:8x8"), ("hierarchy", "4:4:2")]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_length_prefixing_blocks_concat_collisions() {
+        let a = Fingerprint::of_pairs(&[("ab", "c")]);
+        let b = Fingerprint::of_pairs(&[("a", "bc")]);
+        assert_ne!(a, b);
+    }
+}

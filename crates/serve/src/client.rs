@@ -1,0 +1,124 @@
+//! Minimal blocking client for the mapping server.
+//!
+//! One `Client` owns one connection and speaks strict request/response:
+//! write a frame, read a frame. It exists so tools (the bench driver,
+//! `examples/serve_client.rs`, tests) do not re-implement framing.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::net::Stream;
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, MapRequest, Request,
+    Response, ServerStats,
+};
+
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Frame(FrameError),
+    /// The server closed the connection instead of answering.
+    ServerClosed,
+    /// The server answered, but with a variant the call cannot use
+    /// (e.g. `Pong` to a `Stats` request).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a mapping server.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        Ok(Client {
+            stream: Stream::Tcp(s),
+        })
+    }
+
+    /// Connect over a unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+
+    /// Liveness check; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version, .. } => Ok(version),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::StatsOk { stats } => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "expected StatsOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit one mapping job. The response may be `MapOk`, `Busy`, or
+    /// `Error` — backpressure and failures are data, not panics.
+    pub fn map(&mut self, req: MapRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Map { req })
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShutdownAck, got {other:?}"
+            ))),
+        }
+    }
+}

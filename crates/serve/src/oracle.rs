@@ -1,0 +1,275 @@
+//! Cached topology distance oracles and hierarchy factorizations.
+//!
+//! Every map request names its machine by spec string. Parsing the spec
+//! is cheap, but the mapping kernels then issue O(p²)–O(p³) distance
+//! queries, and a hierarchy request additionally pays an O(p·levels)
+//! factorization. [`OracleCaches`] amortizes both across requests:
+//!
+//! * a [`DistOracle`] — a self-contained dense all-pairs distance matrix
+//!   (the standalone sibling of `topomap_topology::CachedTopology`, which
+//!   wraps a concrete `T`; the server needs an owned, type-erased value
+//!   it can share between worker threads) — keyed by the topology-spec
+//!   fingerprint;
+//! * a [`HierPlan`] (validated hierarchy + machine block layout) keyed by
+//!   the (topology, hierarchy, dist) spec fingerprint.
+//!
+//! Both caches hand out `Arc`s, so a hit costs a pointer bump while the
+//! matrix itself is shared between all in-flight requests.
+
+use std::sync::{Arc, Mutex};
+
+use topomap_topology::{NodeId, Topology};
+
+use crate::cache::{Fingerprint, LruCache};
+use crate::specs::{parse_hier_plan, parse_topology, HierPlan};
+
+/// A self-contained all-pairs distance oracle over `p` processors.
+///
+/// Implements [`Topology`] by table lookup; `distance`,
+/// `sum_distance_from`, `diameter`, and `distances_into` are all O(1) or
+/// a straight row gather, bit-identical to the topology it was built
+/// from (the `Topology` contract requires overrides to agree exactly
+/// with the defaults, so mapping through the oracle yields the same
+/// result as mapping through the original machine).
+#[derive(Debug, Clone)]
+pub struct DistOracle {
+    name: String,
+    n: usize,
+    dist: Vec<u32>,
+    row_sums: Vec<u64>,
+    diameter: u32,
+}
+
+impl DistOracle {
+    /// Precompute the matrix with O(p²) `inner.distance` calls.
+    pub fn build(inner: &dyn Topology) -> Self {
+        let n = inner.num_nodes();
+        let mut dist = vec![0u32; n * n];
+        let mut row_sums = vec![0u64; n];
+        let mut diameter = 0u32;
+        for a in 0..n {
+            let mut sum = 0u64;
+            for b in 0..n {
+                let d = inner.distance(a, b);
+                dist[a * n + b] = d;
+                sum += d as u64;
+                diameter = diameter.max(d);
+            }
+            row_sums[a] = sum;
+        }
+        DistOracle {
+            name: inner.name(),
+            n,
+            dist,
+            row_sums,
+            diameter,
+        }
+    }
+
+    /// Memory held by the oracle, in bytes.
+    pub fn matrix_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<u32>()
+            + self.row_sums.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl Topology for DistOracle {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist[a * self.n + b]
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    fn sum_distance_from(&self, node: NodeId) -> u64 {
+        self.row_sums[node]
+    }
+
+    fn distances_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) {
+        let row = &self.dist[from * self.n..(from + 1) * self.n];
+        out.clear();
+        out.extend(targets.iter().map(|&t| row[t]));
+    }
+}
+
+/// Cache-key derivation (documented in DESIGN.md §9): fingerprints are
+/// FNV-1a over sorted, length-prefixed `name=value` pairs of the
+/// *trimmed* spec strings, so key identity tracks spec identity — not
+/// field order, not surrounding whitespace.
+pub fn oracle_key(topo_spec: &str) -> Fingerprint {
+    Fingerprint::of_pairs(&[("kind", "oracle"), ("topology", topo_spec.trim())])
+}
+
+/// Cache key for a hierarchy plan. Omitted specs hash as their semantic
+/// defaults (`auto` arities, `derived` distances) — distinct from any
+/// explicit spelling, which keeps an explicit `--hierarchy 4:4:4` from
+/// aliasing the auto-chosen plan even when they happen to coincide.
+pub fn hier_plan_key(
+    topo_spec: &str,
+    hier_spec: Option<&str>,
+    dist_spec: Option<&str>,
+) -> Fingerprint {
+    Fingerprint::of_pairs(&[
+        ("kind", "hier-plan"),
+        ("topology", topo_spec.trim()),
+        ("hierarchy", hier_spec.map_or("\u{0}auto", str::trim)),
+        ("dist", dist_spec.map_or("\u{0}derived", str::trim)),
+    ])
+}
+
+/// The server-side cache pair with interior locking. Lock scope covers
+/// the build, so concurrent requests for the same cold key build once
+/// and the rest hit.
+pub struct OracleCaches {
+    oracles: Mutex<LruCache<Fingerprint, Arc<DistOracle>>>,
+    plans: Mutex<LruCache<Fingerprint, Arc<HierPlan>>>,
+}
+
+/// Hit/miss counters for both caches, as sampled by `Stats` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub oracle_hits: u64,
+    pub oracle_misses: u64,
+    pub hier_hits: u64,
+    pub hier_misses: u64,
+}
+
+impl OracleCaches {
+    /// `cap` bounds each cache independently (a serve deployment sees a
+    /// handful of machine shapes; default 32 is generous).
+    pub fn new(cap: usize) -> Self {
+        OracleCaches {
+            oracles: Mutex::new(LruCache::new(cap)),
+            plans: Mutex::new(LruCache::new(cap)),
+        }
+    }
+
+    /// Fetch (or parse + build) the distance oracle for a topology spec.
+    /// Returns the oracle and whether it was a cache hit. A malformed
+    /// spec caches nothing and fails with the parser's message.
+    pub fn oracle(&self, topo_spec: &str) -> Result<(Arc<DistOracle>, bool), String> {
+        let key = oracle_key(topo_spec);
+        self.oracles
+            .lock()
+            .unwrap()
+            .try_get_or_insert_with(key, || {
+                let parsed = parse_topology(topo_spec.trim())?;
+                Ok(Arc::new(DistOracle::build(parsed.as_topology())))
+            })
+    }
+
+    /// Fetch (or derive) the hierarchy plan for a (topology, hierarchy,
+    /// dist) spec triple, factoring over the given oracle's metric.
+    pub fn hier_plan(
+        &self,
+        topo_spec: &str,
+        oracle: &DistOracle,
+        hier_spec: Option<&str>,
+        dist_spec: Option<&str>,
+    ) -> Result<(Arc<HierPlan>, bool), String> {
+        let key = hier_plan_key(topo_spec, hier_spec, dist_spec);
+        self.plans.lock().unwrap().try_get_or_insert_with(key, || {
+            let plan = parse_hier_plan(
+                topo_spec.trim(),
+                oracle,
+                hier_spec.map(str::trim),
+                dist_spec.map(str::trim),
+            )?;
+            Ok(Arc::new(plan))
+        })
+    }
+
+    /// Snapshot the hit/miss counters of both caches.
+    pub fn counters(&self) -> CacheCounters {
+        let o = self.oracles.lock().unwrap();
+        let p = self.plans.lock().unwrap();
+        CacheCounters {
+            oracle_hits: o.hits(),
+            oracle_misses: o.misses(),
+            hier_hits: p.hits(),
+            hier_misses: p.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_source_topology() {
+        let parsed = parse_topology("torus:4x4").unwrap();
+        let t = parsed.as_topology();
+        let o = DistOracle::build(t);
+        assert_eq!(o.num_nodes(), 16);
+        assert_eq!(o.name(), t.name());
+        assert_eq!(o.diameter(), t.diameter());
+        for a in 0..16 {
+            assert_eq!(o.sum_distance_from(a), t.sum_distance_from(a));
+            for b in 0..16 {
+                assert_eq!(o.distance(a, b), t.distance(a, b), "d({a},{b})");
+            }
+        }
+        assert_eq!(o.matrix_bytes(), 16 * 16 * 4 + 16 * 8);
+    }
+
+    #[test]
+    fn caches_hit_on_repeat_and_share_storage() {
+        let caches = OracleCaches::new(8);
+        let (o1, hit1) = caches.oracle("fattree:2:3").unwrap();
+        let (o2, hit2) = caches.oracle("fattree:2:3").unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&o1, &o2), "hit must share the same matrix");
+        // Whitespace-insensitive keying.
+        let (_, hit3) = caches.oracle("  fattree:2:3 ").unwrap();
+        assert!(hit3);
+        let c = caches.counters();
+        assert_eq!((c.oracle_hits, c.oracle_misses), (2, 1));
+    }
+
+    #[test]
+    fn bad_specs_fail_loud_and_cache_nothing() {
+        let caches = OracleCaches::new(8);
+        assert!(caches.oracle("nope:3").is_err());
+        assert!(caches.oracle("nope:3").is_err(), "still an error on retry");
+        let c = caches.counters();
+        assert_eq!(c.oracle_hits, 0);
+
+        let (o, _) = caches.oracle("torus:8x8").unwrap();
+        let err = caches
+            .hier_plan("torus:8x8", &o, Some("4:0:8"), None)
+            .unwrap_err();
+        assert!(err.contains("zero children"), "{err}");
+    }
+
+    #[test]
+    fn hier_plans_key_on_all_three_specs() {
+        let caches = OracleCaches::new(8);
+        let (o, _) = caches.oracle("torus:8x8").unwrap();
+        let (p1, hit1) = caches
+            .hier_plan("torus:8x8", &o, Some("4:4:4"), None)
+            .unwrap();
+        let (p2, hit2) = caches
+            .hier_plan("torus:8x8", &o, Some("4:4:4"), None)
+            .unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Auto arities are a distinct key even if they coincide in value.
+        let (_, hit3) = caches.hier_plan("torus:8x8", &o, None, None).unwrap();
+        assert!(!hit3);
+        let (_, hit4) = caches
+            .hier_plan("torus:8x8", &o, Some("4:4:4"), Some("1:2:3"))
+            .unwrap();
+        assert!(!hit4, "explicit dist ladder is a different plan");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the LRU cache (checked against a naive
+//! recency-list model) and the spec fingerprint.
+
+use proptest::prelude::*;
+use topomap_serve::cache::{Fingerprint, LruCache};
+
+/// Reference model: a plain vector ordered least-recent first.
+struct Model {
+    cap: usize,
+    entries: Vec<(u32, u32)>,
+}
+
+impl Model {
+    fn new(cap: usize) -> Self {
+        Model {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, k: u32) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(key, _)| key == k)?;
+        let e = self.entries.remove(pos);
+        self.entries.push(e);
+        Some(e.1)
+    }
+
+    fn insert(&mut self, k: u32, v: u32) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(key, _)| key == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.cap {
+            self.entries.remove(0); // least-recently-used
+        }
+        self.entries.push((k, v));
+    }
+
+    /// Most-recently-used first, like `LruCache::keys_by_recency`.
+    fn keys_by_recency(&self) -> Vec<u32> {
+        self.entries.iter().rev().map(|&(k, _)| k).collect()
+    }
+}
+
+/// One randomized operation: `get` (false) or `insert` (true).
+fn arb_ops() -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    proptest::collection::vec((any::<bool>(), 0u32..8, any::<u32>()), 1..80)
+}
+
+/// Deterministic pseudo-random permutation of `0..n` (the vendored
+/// proptest has no shuffle strategy): repeated LCG-seeded swaps.
+fn permute<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out = items.to_vec();
+    let mut s = seed | 1;
+    for i in (1..out.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every interleaving of gets and inserts leaves the cache exactly
+    /// where the reference model says: same lookup results, same
+    /// eviction victims, same recency order, never above capacity.
+    #[test]
+    fn lru_matches_reference_model(cap in 1usize..5, ops in arb_ops()) {
+        let mut cache: LruCache<u32, u32> = LruCache::new(cap);
+        let mut model = Model::new(cap);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (is_insert, k, v) in ops {
+            if is_insert {
+                cache.insert(k, v);
+                model.insert(k, v);
+            } else {
+                let got = cache.get(&k);
+                prop_assert_eq!(got, model.get(k), "get({})", k);
+                if got.is_some() { hits += 1 } else { misses += 1 }
+            }
+            prop_assert!(cache.len() <= cap, "over capacity");
+            prop_assert_eq!(cache.len(), model.entries.len());
+            prop_assert_eq!(cache.keys_by_recency(), model.keys_by_recency());
+        }
+        prop_assert_eq!((cache.hits(), cache.misses()), (hits, misses));
+    }
+
+    /// A `get` refreshes recency: afterwards the key survives exactly
+    /// `cap - 1` inserts of fresh keys.
+    #[test]
+    fn get_refreshes_recency(cap in 2usize..6, probe in 0u32..4) {
+        let mut cache: LruCache<u32, u32> = LruCache::new(cap);
+        for k in 0..cap as u32 {
+            cache.insert(k, k);
+        }
+        let probe = probe % cap as u32;
+        prop_assert!(cache.get(&probe).is_some());
+        // cap-1 fresh keys evict everything *except* the refreshed one.
+        for k in 0..(cap - 1) as u32 {
+            cache.insert(100 + k, 0);
+        }
+        prop_assert!(cache.get(&probe).is_some(), "refreshed key was evicted");
+    }
+
+    /// Fingerprints are invariant under any reordering of the pairs and
+    /// sensitive to any single value change.
+    #[test]
+    fn fingerprint_stable_across_field_reordering(
+        fields in proptest::collection::vec((0u32..26, 0u32..1000), 1..8),
+        seed in any::<u64>(),
+        victim in any::<usize>(),
+    ) {
+        // Synthesize distinct field names a..z with numeric values.
+        let named: Vec<(String, String)> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, v))| {
+                (format!("{}{}", (b'a' + c as u8) as char, i), v.to_string())
+            })
+            .collect();
+        let as_pairs = |v: &[(String, String)]| -> Fingerprint {
+            let borrowed: Vec<(&str, &str)> =
+                v.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            Fingerprint::of_pairs(&borrowed)
+        };
+        let original = as_pairs(&named);
+        prop_assert_eq!(as_pairs(&permute(&named, seed)), original);
+        // Rotations are reorderings too.
+        let mut rotated = named.clone();
+        rotated.rotate_left(seed as usize % named.len().max(1));
+        prop_assert_eq!(as_pairs(&rotated), original);
+        // Changing one value changes the fingerprint.
+        let mut tweaked = named.clone();
+        let vi = victim % tweaked.len();
+        tweaked[vi].1.push('x');
+        prop_assert_ne!(as_pairs(&tweaked), original);
+    }
+}

@@ -1,0 +1,228 @@
+//! Wire-format property tests: every request/response variant survives
+//! an encode → frame → unframe → decode round trip, and malformed
+//! frames (truncated, oversized, garbage) are rejected loudly.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use topomap_lb::LbDatabase;
+use topomap_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorKind, FrameError, MapRequest, Request, Response, ServerStats, MAX_FRAME_BYTES,
+};
+
+const TOPOS: &[&str] = &["torus:8x8", "mesh:4x4", "fattree:2:3", "hypercube:5", ""];
+const MAPPERS: &[&str] = &["topolb", "topocentlb", "refine", "hier", "bogus"];
+const HIERS: &[Option<&str>] = &[None, Some("4:4:4"), Some("16:4"), Some("2:2")];
+const DISTS: &[Option<&str>] = &[None, Some("1:10:100"), Some("1:2")];
+const KINDS: &[ErrorKind] = &[
+    ErrorKind::BadRequest,
+    ErrorKind::BadSpec,
+    ErrorKind::BadWorkload,
+    ErrorKind::Deadline,
+    ErrorKind::ShuttingDown,
+    ErrorKind::Internal,
+];
+
+fn arb_db() -> proptest::strategy::BoxedStrategy<LbDatabase> {
+    (1usize..16)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0.0f64..10.0, n),
+                proptest::collection::vec((0usize..n, 0usize..n, 0.5f64..1e6, 1u64..100), 0..30),
+            )
+        })
+        .prop_map(|(n, loads, comm)| {
+            let mut db = LbDatabase::new(n);
+            for (i, &l) in loads.iter().enumerate() {
+                db.record_load(i, l);
+            }
+            for (a, b, bytes, msgs) in comm {
+                db.record_comm(a, b, bytes, msgs);
+            }
+            db
+        })
+        .boxed()
+}
+
+fn arb_map_request() -> proptest::strategy::BoxedStrategy<MapRequest> {
+    (
+        (any::<u64>(), 0usize..TOPOS.len(), 0usize..MAPPERS.len()),
+        (0usize..HIERS.len(), 0usize..DISTS.len(), any::<u64>()),
+        (any::<bool>(), 0u64..5000),
+        arb_db(),
+    )
+        .prop_map(
+            |((id, t, m), (h, d, seed), (has_deadline, ms), database)| MapRequest {
+                id,
+                topology: TOPOS[t].to_string(),
+                mapper: MAPPERS[m].to_string(),
+                hierarchy: HIERS[h].map(str::to_string),
+                hier_dist: DISTS[d].map(str::to_string),
+                seed,
+                deadline_ms: has_deadline.then_some(ms),
+                database,
+            },
+        )
+        .boxed()
+}
+
+fn arb_request() -> proptest::strategy::BoxedStrategy<Request> {
+    (0usize..4)
+        .prop_flat_map(|k| match k {
+            0 => Just(Request::Ping).boxed(),
+            1 => Just(Request::Stats).boxed(),
+            2 => Just(Request::Shutdown).boxed(),
+            _ => arb_map_request()
+                .prop_map(|req| Request::Map { req })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_stats() -> proptest::strategy::BoxedStrategy<ServerStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((requests, ok, busy, errors), (oh, om, hh, hm))| ServerStats {
+                requests,
+                ok,
+                busy,
+                errors,
+                oracle_hits: oh,
+                oracle_misses: om,
+                hier_hits: hh,
+                hier_misses: hm,
+            },
+        )
+        .boxed()
+}
+
+fn arb_response() -> proptest::strategy::BoxedStrategy<Response> {
+    (0usize..6)
+        .prop_flat_map(|k| match k {
+            0 => (any::<u32>(), 0usize..4)
+                .prop_map(|(version, s)| Response::Pong {
+                    version,
+                    server: format!("srv-{s}"),
+                })
+                .boxed(),
+            1 => arb_stats()
+                .prop_map(|stats| Response::StatsOk { stats })
+                .boxed(),
+            2 => Just(Response::ShutdownAck).boxed(),
+            3 => (
+                (any::<u64>(), 1usize..64),
+                (0.0f64..1e9, 0.0f64..8.0, any::<u64>()),
+                (any::<bool>(), any::<bool>(), any::<bool>()),
+            )
+                .prop_flat_map(|((id, np), (hb, hpb, us), (ohit, has_hier, hhit))| {
+                    // An injective prefix mapping: task t on processor t.
+                    (
+                        Just((id, np, hb, hpb, us, ohit)),
+                        Just((has_hier, hhit)),
+                        0usize..=np,
+                    )
+                })
+                .prop_map(
+                    |((id, np, hb, hpb, us, ohit), (has_hier, hhit), k)| Response::MapOk {
+                        id,
+                        num_procs: np,
+                        proc_of_task: (0..k).collect(),
+                        hop_bytes: hb,
+                        hops_per_byte: hpb,
+                        elapsed_us: us,
+                        oracle_cache_hit: ohit,
+                        hier_cache_hit: has_hier.then_some(hhit),
+                    },
+                )
+                .boxed(),
+            4 => (any::<u64>(), 1usize..1000)
+                .prop_map(|(id, queue_cap)| Response::Busy { id, queue_cap })
+                .boxed(),
+            _ => ((any::<u64>(), 0usize..KINDS.len()), 0usize..50)
+                .prop_map(|((id, k), msg_len)| Response::Error {
+                    id,
+                    kind: KINDS[k],
+                    message: "e".repeat(msg_len),
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_request_roundtrips(req in arb_request()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+        let payload = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn every_response_roundtrips(resp in arb_response()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_response(&resp)).unwrap();
+        let payload = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        prop_assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    /// Cutting a valid frame anywhere — inside the prefix or inside the
+    /// payload — yields `Truncated` (or a clean EOF at exactly zero
+    /// bytes), never a partial message.
+    #[test]
+    fn truncated_frames_rejected(req in arb_request(), cut_seed in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+        let cut = (cut_seed as usize) % buf.len(); // strictly short of a full frame
+        match read_frame(&mut Cursor::new(&buf[..cut])) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only before any byte"),
+            Err(FrameError::Truncated { expected, got }) => {
+                prop_assert!(got < expected, "{got} < {expected}");
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "cut at {cut}: expected Truncated, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Any declared length beyond the cap is refused before allocation,
+    /// regardless of what (if anything) follows the prefix.
+    #[test]
+    fn oversized_frames_rejected(extra in 1u32..1000, body in 0usize..32) {
+        let declared = MAX_FRAME_BYTES + extra;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&declared.to_be_bytes());
+        buf.extend(std::iter::repeat_n(0u8, body));
+        match read_frame(&mut Cursor::new(&buf)) {
+            Err(FrameError::TooLarge { declared: d, max }) => {
+                prop_assert_eq!(d, declared);
+                prop_assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected TooLarge, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Arbitrary bytes never decode into a request by accident — they
+    /// either fail or re-encode to a structurally equal value.
+    #[test]
+    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        match decode_request(&bytes) {
+            Err(FrameError::Decode(_)) => {}
+            Err(other) => return Err(TestCaseError::fail(format!(
+                "unexpected error kind {other:?}"
+            ))),
+            Ok(req) => {
+                // Freak accident of valid JSON: must re-encode losslessly.
+                prop_assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Mapping-as-a-service in one file: spawn the mapping daemon on an
+//! ephemeral port, submit a stencil workload over the wire, and print
+//! the mapping it returns — then show the oracle cache earning its keep
+//! on a second request for the same machine.
+//!
+//! Run: `cargo run --release --example serve_client`
+
+use topomap::lb::LbDatabase;
+use topomap::serve::proto::{MapRequest, Response};
+use topomap::serve::server::{spawn_ephemeral, ServeConfig};
+use topomap::serve::Client;
+
+fn stencil_request(id: u64) -> MapRequest {
+    // A 64-task 2D stencil measured into an LB database — the same
+    // payload a Charm++-style load balancer would ship per step.
+    let tasks = topomap::taskgraph::gen::stencil2d(8, 8, 4096.0, false);
+    MapRequest {
+        id,
+        topology: "torus:8x8".to_string(),
+        mapper: "topolb".to_string(),
+        hierarchy: None,
+        hier_dist: None,
+        seed: 0,
+        deadline_ms: Some(5_000),
+        database: LbDatabase::from_task_graph(&tasks),
+    }
+}
+
+fn main() {
+    let handle = spawn_ephemeral(ServeConfig::default()).expect("bind ephemeral port");
+    println!("server listening on {}", handle.addr());
+
+    let mut client = Client::connect_tcp(handle.addr()).expect("connect");
+    println!("ping -> protocol v{}", client.ping().expect("ping"));
+
+    for round in 0..2 {
+        match client.map(stencil_request(round)).expect("map request") {
+            Response::MapOk {
+                id,
+                proc_of_task,
+                hop_bytes,
+                hops_per_byte,
+                elapsed_us,
+                oracle_cache_hit,
+                ..
+            } => {
+                println!(
+                    "\nrequest {id}: mapped 8x8 stencil onto torus:8x8 in {elapsed_us} us \
+                     (oracle cache {})",
+                    if oracle_cache_hit { "HIT" } else { "miss" }
+                );
+                println!("  hop-bytes:     {hop_bytes:.1}");
+                println!("  hops-per-byte: {hops_per_byte:.4}");
+                print!("  mapping (task -> processor):");
+                for (t, p) in proc_of_task.iter().enumerate() {
+                    if t % 8 == 0 {
+                        print!("\n   ");
+                    }
+                    print!(" {t:2}->{p:2}");
+                }
+                println!();
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nserver stats: {} requests, oracle {} hit / {} miss",
+        stats.requests, stats.oracle_hits, stats.oracle_misses
+    );
+    client.shutdown().expect("shutdown");
+    let final_stats = handle.join();
+    assert_eq!(final_stats.ok, 2);
+    println!("server drained cleanly");
+}

@@ -20,6 +20,9 @@
 //!   registry, `+LBDump`/`+LBSim` dump & replay, threaded mini-runtime.
 //! - [`netsim`] — a discrete-event packet-level network simulator
 //!   (BigNetSim substitute) with wormhole/cut-through switching.
+//! - [`serve`] — mapping-as-a-service: a persistent mapping daemon with
+//!   cached distance oracles, bounded queues with `Busy` backpressure,
+//!   and a minimal blocking client.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@ pub use topomap_core as core;
 pub use topomap_lb as lb;
 pub use topomap_netsim as netsim;
 pub use topomap_partition as partition;
+pub use topomap_serve as serve;
 pub use topomap_taskgraph as taskgraph;
 pub use topomap_topology as topology;
 
