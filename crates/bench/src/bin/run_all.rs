@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_scaling",
     "exp_hier",
     "exp_serve",
+    "exp_contention",
 ];
 
 fn main() {

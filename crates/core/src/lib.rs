@@ -44,6 +44,7 @@
 //! ```
 
 pub mod anneal;
+pub mod contention;
 pub mod estimation;
 #[doc(hidden)]
 pub mod estimation_naive;
@@ -64,6 +65,7 @@ pub mod topocentlb;
 pub mod topolb;
 
 pub use anneal::SimulatedAnnealingMap;
+pub use contention::{ContentionRefine, ContentionReport, SimObservation};
 pub use estimation::EstimationOrder;
 pub use genetic::GeneticMap;
 pub use hierarchy::{auto_arities, Descent, HierMapper};

@@ -104,7 +104,13 @@ pub(crate) fn swap_delta(
 }
 
 /// Change in hop-bytes if task `t` moved to the free processor `q`.
-fn move_delta(tasks: &TaskGraph, topo: &dyn Topology, m: &Mapping, t: TaskId, q: usize) -> f64 {
+pub(crate) fn move_delta(
+    tasks: &TaskGraph,
+    topo: &dyn Topology,
+    m: &Mapping,
+    t: TaskId,
+    q: usize,
+) -> f64 {
     let pt = m.proc_of(t);
     let mut delta = 0.0;
     for (j, c) in tasks.neighbors(t) {

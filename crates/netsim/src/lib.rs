@@ -52,6 +52,6 @@ pub mod stats;
 pub mod trace;
 
 pub use config::NetworkConfig;
-pub use sim::Simulation;
+pub use sim::{contention_oracle, SimReport, Simulation};
 pub use stats::SimStats;
 pub use trace::{Trace, TraceOp};

@@ -10,6 +10,7 @@ use crate::stats::{LinkAccounting, SimStats};
 use crate::trace::{Trace, TraceOp};
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap};
+use topomap_core::contention::SimObservation;
 use topomap_core::{obs, Mapping};
 use topomap_taskgraph::TaskId;
 use topomap_topology::{Link, NodeId, RoutedTopology};
@@ -84,6 +85,17 @@ struct TaskState {
 /// One complete simulation run.
 pub struct Simulation;
 
+/// A simulation's aggregate statistics plus the per-link ledger it
+/// accumulated. `links` is the ledger's index space — the deterministic
+/// [`RoutedTopology::links`] order — so `acct.busy_ns(i)` is the busy time
+/// of `links[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    pub stats: SimStats,
+    pub links: Vec<Link>,
+    pub acct: LinkAccounting,
+}
+
 impl Simulation {
     /// Replay `trace` on `topo` under `mapping` with network parameters
     /// `cfg`; returns aggregate statistics.
@@ -96,12 +108,46 @@ impl Simulation {
         trace: &Trace,
         mapping: &Mapping,
     ) -> SimStats {
+        Self::run_with_links(topo, cfg, trace, mapping).stats
+    }
+
+    /// [`Simulation::run`], but keep the per-link accounting ledger instead
+    /// of dropping it after the aggregate statistics are computed. This is
+    /// what contention-aware consumers (hot-link identification, ledger
+    /// conservation checks) read.
+    pub fn run_with_links(
+        topo: &dyn RoutedTopology,
+        cfg: &NetworkConfig,
+        trace: &Trace,
+        mapping: &Mapping,
+    ) -> SimReport {
         let _run_span = obs::span("netsim.run");
         let engine = {
             let _setup_span = obs::span("netsim.setup");
             Engine::new(topo, cfg, trace, mapping)
         };
-        engine.run()
+        engine.run_report()
+    }
+}
+
+/// Build the simulate-closure that [`topomap_core::contention::ContentionRefine`]
+/// consumes: each call replays `trace` under the candidate mapping and
+/// returns the makespan plus the per-link busy/byte ledger in
+/// `topo.links()` order. Lives here rather than in `topomap-core` because
+/// the crate dependency points netsim → core.
+pub fn contention_oracle<'a>(
+    topo: &'a dyn RoutedTopology,
+    cfg: &'a NetworkConfig,
+    trace: &'a Trace,
+) -> impl FnMut(&Mapping) -> SimObservation + 'a {
+    move |m: &Mapping| {
+        let report = Simulation::run_with_links(topo, cfg, trace, m);
+        SimObservation {
+            makespan_ns: report.stats.completion_ns,
+            link_busy_ns: report.acct.busy_slice().to_vec(),
+            link_bytes: report.acct.bytes_slice().to_vec(),
+            queue_wait_ns: report.acct.queue_wait_ns(),
+        }
     }
 }
 
@@ -207,7 +253,7 @@ impl<'a> Engine<'a> {
         self.events.push(Reverse(EventEntry { time, seq, kind }));
     }
 
-    fn run(mut self) -> SimStats {
+    fn run_report(mut self) -> SimReport {
         let events_span = obs::span("netsim.events");
         // Kick off every task at t = 0.
         for t in 0..self.trace.num_tasks() {
@@ -277,7 +323,7 @@ impl<'a> Engine<'a> {
                 self.latencies[idx]
             }
         };
-        SimStats {
+        let stats = SimStats {
             completion_ns,
             network_messages: delivered,
             local_messages: self.local_delivered,
@@ -300,6 +346,11 @@ impl<'a> Engine<'a> {
             avg_link_utilization: self.acct.avg_utilization(completion_ns),
             used_links: self.acct.used_links(),
             total_links: self.links.len(),
+        };
+        SimReport {
+            stats,
+            links: self.links,
+            acct: self.acct,
         }
     }
 

@@ -4,7 +4,7 @@
 //!
 //! | kind | examples |
 //! |------|----------|
-//! | topology | `torus:8x8`, `mesh:4x4x4`, `hypercube:6`, `ring:16`, `star:9`, `crossbar:8`, `fattree:4:3` |
+//! | topology | `torus:8x8`, `mesh:4x4x4`, `hypercube:6`, `ring:16`, `star:9`, `crossbar:8`, `fattree:4:3`, `dragonfly:4:8` |
 //! | pattern | `stencil2d:16x16`, `stencil3d:8x8x8`, `pstencil2d:8x8` (periodic), `leanmd:64`, `ring:32`, `all2all:16`, `butterfly:64`, `transpose:8`, `sweep2d:6x6`, `tree:32`, `random:100:4` |
 //! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic`, `hier` |
 
@@ -14,7 +14,8 @@ use topomap_core::{
 };
 use topomap_taskgraph::{gen, TaskGraph};
 use topomap_topology::{
-    FatTree, GraphTopology, Hierarchy, Hypercube, NodeId, RoutedTopology, Topology, Torus,
+    Dragonfly, FatTree, GraphTopology, Hierarchy, Hypercube, NodeId, RoutedTopology, Topology,
+    Torus,
 };
 
 /// Parse `AxBxC` into dimension sizes.
@@ -94,8 +95,24 @@ pub fn parse_topology(spec: &str) -> Result<ParsedTopology, String> {
                 arity, levels,
             ))))
         }
+        "dragonfly" => {
+            let (g, a) = rest.split_once(':').ok_or_else(|| {
+                format!("dragonfly spec is dragonfly:GROUPS:ROUTERS, got '{rest}'")
+            })?;
+            let groups: usize = g
+                .parse()
+                .map_err(|_| "bad dragonfly group count".to_string())?;
+            let routers: usize = a
+                .parse()
+                .map_err(|_| "bad dragonfly routers-per-group".to_string())?;
+            if groups == 0 || routers == 0 {
+                return Err(format!("dragonfly needs positive sizes, got '{rest}'"));
+            }
+            routed(Box::new(Dragonfly::new(groups, routers)))
+        }
         other => Err(format!(
-            "unknown topology kind '{other}' (try torus/mesh/hypercube/ring/star/crossbar/fattree)"
+            "unknown topology kind '{other}' \
+             (try torus/mesh/hypercube/ring/star/crossbar/fattree/dragonfly)"
         )),
     }
 }
@@ -363,6 +380,7 @@ mod tests {
             ("star:5", 5),
             ("crossbar:6", 6),
             ("fattree:2:3", 8),
+            ("dragonfly:4:8", 32),
         ] {
             let t = parse_topology(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(t.as_topology().num_nodes(), n, "{spec}");
@@ -374,11 +392,21 @@ mod tests {
         let t = parse_topology("fattree:4:2").unwrap();
         assert!(t.as_routed().is_err());
         assert!(parse_topology("torus:4x4").unwrap().as_routed().is_ok());
+        assert!(parse_topology("dragonfly:3:4").unwrap().as_routed().is_ok());
     }
 
     #[test]
     fn bad_topology_specs_rejected() {
-        for spec in ["torus:0x4", "torus:", "nope:3", "hypercube:x", "fattree:4"] {
+        for spec in [
+            "torus:0x4",
+            "torus:",
+            "nope:3",
+            "hypercube:x",
+            "fattree:4",
+            "dragonfly:4",
+            "dragonfly:0:8",
+            "dragonfly:4:x",
+        ] {
             assert!(parse_topology(spec).is_err(), "{spec} should fail");
         }
     }

@@ -22,6 +22,7 @@
 //! The distance oracle is O(levels) per query and composes with
 //! [`crate::cache::CachedTopology`] like every other metric.
 
+use crate::dragonfly::Dragonfly;
 use crate::fattree::FatTree;
 use crate::torus::Torus;
 use crate::{NodeId, Topology};
@@ -160,6 +161,18 @@ impl Hierarchy {
         let arities = vec![ft.arity(); l];
         let dists = (1..=l as u32).map(|i| 2 * i).collect();
         Self::new(arities, dists)
+    }
+
+    /// The natural two-level hierarchy of a dragonfly: `a` routers per
+    /// group at distance 1, `g` groups at the machine diameter. Identity
+    /// processor layout (node `n` *is* hierarchy position `n`), and the
+    /// result equals `identity_over(df, &[a, g])` exactly: the intra-group
+    /// radius is 1 (clamped to the >= 1 floor even when `a == 1`), the
+    /// outer level the diameter (0 or 1 degenerate cases clamp likewise).
+    pub fn from_dragonfly(df: &Dragonfly) -> Self {
+        let d1 = 1u32;
+        let d2 = d1.max(df.diameter());
+        Self::new(vec![df.routers(), df.groups()], vec![d1, d2])
     }
 
     /// Derive per-level distances for an identity layout over an arbitrary

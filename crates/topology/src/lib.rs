@@ -27,6 +27,7 @@
 //! | [`Hypercube`] | routed | "networks such as ... hypercubes" (§1) |
 //! | [`GraphTopology`] (arbitrary adjacency list) | routed | "our algorithms work for arbitrary network topologies" (§3) |
 //! | [`FatTree`] (k-ary tree metric) | metric only | Fat-tree comparison point (§1) |
+//! | [`Dragonfly`] (groups × all-to-all global channels) | routed | Hierarchical direct network where global-link contention concentrates |
 //!
 //! ## Example
 //!
@@ -44,6 +45,7 @@
 
 pub mod cache;
 pub mod coords;
+pub mod dragonfly;
 pub mod fattree;
 pub mod graph;
 pub mod hierarchy;
@@ -52,6 +54,7 @@ pub mod stats;
 pub mod torus;
 
 pub use cache::CachedTopology;
+pub use dragonfly::Dragonfly;
 pub use fattree::FatTree;
 pub use graph::GraphTopology;
 pub use hierarchy::Hierarchy;

@@ -2,8 +2,15 @@
 
 use proptest::prelude::*;
 use topomap_topology::{
-    stats, CachedTopology, FatTree, GraphTopology, Hypercube, RoutedTopology, Topology, Torus,
+    stats, CachedTopology, Dragonfly, FatTree, GraphTopology, Hierarchy, Hypercube, RoutedTopology,
+    Topology, Torus,
 };
+
+/// Strategy producing small dragonflies, including the degenerate
+/// one-group and one-router-per-group shapes.
+fn arb_dragonfly() -> impl Strategy<Value = Dragonfly> {
+    (1usize..=6, 1usize..=6).prop_map(|(g, a)| Dragonfly::new(g, a))
+}
 
 /// Strategy producing small random tori/meshes (≤ ~200 nodes).
 fn arb_torus() -> impl Strategy<Value = Torus> {
@@ -185,5 +192,91 @@ proptest! {
         prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
         // Fat-tree distances are always even.
         prop_assert_eq!(t.distance(a, b) % 2, 0);
+    }
+
+    #[test]
+    fn dragonfly_metric_axioms(d in arb_dragonfly(), seed in any::<u64>()) {
+        let n = d.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 7) % n;
+        let c = (seed as usize / 49) % n;
+        prop_assert_eq!(d.distance(a, a), 0);
+        prop_assert_eq!(d.distance(a, b), d.distance(b, a));
+        prop_assert!(d.distance(a, c) <= d.distance(a, b) + d.distance(b, c));
+        prop_assert!(d.distance(a, b) <= d.diameter());
+        prop_assert!(d.diameter() <= 3, "low-diameter topology by construction");
+    }
+
+    #[test]
+    fn dragonfly_closed_form_equals_bfs(d in arb_dragonfly()) {
+        let g = GraphTopology::from_topology(&d);
+        let n = d.num_nodes();
+        for a in 0..n {
+            prop_assert_eq!(d.sum_distance_from(a), g.sum_distance_from(a));
+            for b in 0..n {
+                prop_assert_eq!(d.distance(a, b), g.distance(a, b), "{} -> {}", a, b);
+            }
+        }
+        prop_assert_eq!(d.diameter(), g.diameter());
+    }
+
+    #[test]
+    fn dragonfly_coords_roundtrip(d in arb_dragonfly()) {
+        for node in 0..d.num_nodes() {
+            let (g, r) = d.coords(node);
+            prop_assert!(g < d.groups() && r < d.routers());
+            prop_assert_eq!(d.node_of(g, r), node);
+            prop_assert_eq!((d.group_of(node), d.router_of(node)), (g, r));
+        }
+    }
+
+    #[test]
+    fn dragonfly_routing_reaches_destination(d in arb_dragonfly(), seed in any::<u64>()) {
+        let n = d.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 13) % n;
+        let route = d.route(a, b);
+        prop_assert_eq!(route.len() as u32, d.distance(a, b));
+        let mut cur = a;
+        for l in &route {
+            prop_assert_eq!(l.from, cur);
+            prop_assert_eq!(d.distance(cur, l.to), 1);
+            cur = l.to;
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn dragonfly_productive_neighbors_are_exactly_the_closer_ones(
+        d in arb_dragonfly(),
+        seed in any::<u64>(),
+    ) {
+        let n = d.num_nodes();
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 3) % n;
+        prop_assume!(a != b);
+        let mut prod = Vec::new();
+        d.productive_neighbors_into(a, b, &mut prod);
+        prop_assert!(!prod.is_empty());
+        let dist = d.distance(a, b);
+        let mut expected: Vec<usize> = d
+            .neighbors(a)
+            .into_iter()
+            .filter(|&v| d.distance(v, b) == dist - 1)
+            .collect();
+        let mut got = prod.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        prop_assert!(prod.contains(&d.next_hop(a, b)));
+    }
+
+    /// `Hierarchy::from_dragonfly` must agree with the generic
+    /// `identity_over` derivation (routers within a group, then groups),
+    /// so the hierarchical mapper sees the same machine either way.
+    #[test]
+    fn dragonfly_hierarchy_matches_identity_over(d in arb_dragonfly()) {
+        let derived = Hierarchy::identity_over(&d, &[d.routers(), d.groups()]).unwrap();
+        prop_assert_eq!(Hierarchy::from_dragonfly(&d), derived);
     }
 }

@@ -54,16 +54,18 @@ pub use topomap_topology as topology;
 pub mod prelude {
     pub use topomap_core::metrics::{hop_bytes, hops_per_byte};
     pub use topomap_core::{
-        Descent, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap, Mapper,
-        Mapping, Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, Threads, TopoCentLb,
-        TopoLb,
+        ContentionRefine, ContentionReport, Descent, EstimationOrder, GeneticMap, HierMapper,
+        IdentityMap, LinearOrderMap, Mapper, Mapping, Parallelism, RandomMap, RefineTopoLb,
+        SimObservation, SimulatedAnnealingMap, Threads, TopoCentLb, TopoLb,
     };
-    pub use topomap_netsim::{NetworkConfig, SimStats, Simulation, Trace};
+    pub use topomap_netsim::{
+        contention_oracle, NetworkConfig, SimReport, SimStats, Simulation, Trace,
+    };
     pub use topomap_partition::{GreedyLoad, MultilevelKWay, Partition, Partitioner};
     pub use topomap_taskgraph::{TaskGraph, TaskId};
     pub use topomap_topology::{
-        CachedTopology, FatTree, GraphTopology, Hierarchy, Hypercube, NodeId, RoutedTopology,
-        Topology, Torus,
+        CachedTopology, Dragonfly, FatTree, GraphTopology, Hierarchy, Hypercube, NodeId,
+        RoutedTopology, Topology, Torus,
     };
 }
 

@@ -1,0 +1,174 @@
+//! Degraded-machine scenarios: contention-aware refinement must route
+//! load *off* failed or slow links — the regime where the hop-bytes proxy
+//! is structurally blind, because the metric weights every link equally
+//! while the machine does not.
+//!
+//! Each scenario builds a healthy hop-bytes-refined baseline, breaks the
+//! router that baseline leans on hardest, and asserts the refinement loop
+//! (a) improves the simulated makespan, (b) actually moves bytes off the
+//! sick links, and (c) never pays more hop-bytes than its slack budget
+//! allows while doing so.
+
+use topomap::core::metrics::hop_bytes;
+use topomap::netsim::config::NicModel;
+use topomap::netsim::trace::stencil_trace;
+use topomap::prelude::*;
+use topomap::taskgraph::gen;
+
+/// A 4x4 stencil on a 32-node torus: free processors exist, so the loop
+/// can migrate tasks away from a broken router instead of just swapping.
+fn fixture() -> (TaskGraph, Torus, Trace) {
+    let g = gen::stencil2d(4, 4, 131_072.0, false);
+    let topo = Torus::torus_3d(4, 2, 4);
+    let tr = stencil_trace(&g, 12, 2_000);
+    (g, topo, tr)
+}
+
+fn hb_baseline(g: &TaskGraph, topo: &Torus) -> Mapping {
+    RefineTopoLb::new(TopoLb::default()).map(g, topo)
+}
+
+/// Degrade every outgoing link of the router the baseline mapping loads
+/// hardest (under a clean network), returning the config and the router.
+fn degrade_hottest_router(
+    topo: &Torus,
+    tr: &Trace,
+    baseline: &Mapping,
+    factor: f64,
+) -> (NetworkConfig, usize) {
+    let mut cfg = NetworkConfig::default().with_bandwidth(300e6);
+    cfg.nic = NicModel::PerLink;
+    let clean = Simulation::run_with_links(topo, &cfg, tr, baseline);
+    let busiest = (0..clean.links.len())
+        .max_by_key(|&i| (clean.acct.busy_ns(i), std::cmp::Reverse(i)))
+        .expect("torus has links");
+    let sick = clean.links[busiest].from;
+    cfg.link_speed_factors = topo
+        .neighbors(sick)
+        .into_iter()
+        .map(|n| (sick, n, factor))
+        .collect();
+    (cfg, sick)
+}
+
+/// Bytes the simulation pushed through the degraded (outgoing-from-sick)
+/// links under `m`.
+fn bytes_over_sick_links(topo: &Torus, cfg: &NetworkConfig, tr: &Trace, m: &Mapping) -> u64 {
+    let rep = Simulation::run_with_links(topo, cfg, tr, m);
+    (0..rep.links.len())
+        .filter(|&i| {
+            cfg.link_speed_factors
+                .iter()
+                .any(|&(f, t, _)| rep.links[i].from == f && rep.links[i].to == t)
+        })
+        .map(|i| rep.acct.bytes(i))
+        .sum()
+}
+
+/// A router losing 90% of its outgoing bandwidth: the refinement loop
+/// must beat the hop-bytes baseline's makespan AND demonstrably unload
+/// the failed links.
+#[test]
+fn refinement_unloads_failed_router() {
+    let (g, topo, tr) = fixture();
+    let baseline = hb_baseline(&g, &topo);
+    let (cfg, _sick) = degrade_hottest_router(&topo, &tr, &baseline, 0.1);
+
+    let mut refined = baseline.clone();
+    let report = ContentionRefine::default().refine(
+        &g,
+        &topo,
+        &mut refined,
+        contention_oracle(&topo, &cfg, &tr),
+    );
+
+    assert!(
+        report.accepted > 0,
+        "loop never engaged on a broken machine"
+    );
+    assert!(
+        report.final_makespan_ns < report.initial_makespan_ns,
+        "degraded-torus makespan did not improve: {} -> {}",
+        report.initial_makespan_ns,
+        report.final_makespan_ns
+    );
+    let before = bytes_over_sick_links(&topo, &cfg, &tr, &baseline);
+    let after = bytes_over_sick_links(&topo, &cfg, &tr, &refined);
+    assert!(
+        after < before,
+        "refinement left the failed links loaded: {before} -> {after} bytes"
+    );
+}
+
+/// A merely *slow* router (40% bandwidth) — the softer failure mode.
+/// Strict improvement is still expected here, and the loop's acceptance
+/// rule guarantees the result is never worse than the baseline.
+#[test]
+fn refinement_improves_on_slow_router() {
+    let (g, topo, tr) = fixture();
+    let baseline = hb_baseline(&g, &topo);
+    let (cfg, _sick) = degrade_hottest_router(&topo, &tr, &baseline, 0.4);
+
+    let mut refined = baseline.clone();
+    let report = ContentionRefine::default().refine(
+        &g,
+        &topo,
+        &mut refined,
+        contention_oracle(&topo, &cfg, &tr),
+    );
+    assert!(
+        report.final_makespan_ns <= report.initial_makespan_ns,
+        "acceptance rule violated"
+    );
+    assert!(
+        report.final_makespan_ns < report.initial_makespan_ns,
+        "slow-router makespan did not improve: {} -> {}",
+        report.initial_makespan_ns,
+        report.final_makespan_ns
+    );
+}
+
+/// The hop-bytes guard: unloading hot links may spend proxy quality, but
+/// each accepted exchange is bounded by `hb_slack`, so the end-to-end
+/// regression is bounded by the compounded budget `(1 + slack)^accepted`.
+#[test]
+fn hop_bytes_regression_stays_within_compounded_slack() {
+    let (g, topo, tr) = fixture();
+    let baseline = hb_baseline(&g, &topo);
+    let (cfg, _sick) = degrade_hottest_router(&topo, &tr, &baseline, 0.1);
+
+    let refiner = ContentionRefine::default();
+    let mut refined = baseline.clone();
+    let report = refiner.refine(&g, &topo, &mut refined, contention_oracle(&topo, &cfg, &tr));
+
+    let hb_before = hop_bytes(&g, &topo, &baseline);
+    let hb_after = hop_bytes(&g, &topo, &refined);
+    let budget = hb_before * (1.0 + refiner.hb_slack).powi(report.accepted as i32);
+    assert!(
+        hb_after <= budget * (1.0 + 1e-9),
+        "hop-bytes {hb_after} blew the compounded slack budget {budget} \
+         (start {hb_before}, {} accepted)",
+        report.accepted
+    );
+}
+
+/// End-to-end sanity on a healthy machine: refinement from a random
+/// scatter must improve simulated completion, and the improvement
+/// percentage the report computes must match its endpoints.
+#[test]
+fn healthy_machine_report_is_consistent() {
+    let (g, topo, tr) = fixture();
+    let mut cfg = NetworkConfig::default().with_bandwidth(200e6);
+    cfg.nic = NicModel::PerLink;
+    let mut m = RandomMap::new(5).map(&g, &topo);
+
+    let report =
+        ContentionRefine::default().refine(&g, &topo, &mut m, contention_oracle(&topo, &cfg, &tr));
+    assert!(report.final_makespan_ns <= report.initial_makespan_ns);
+    let expect = 100.0 * (report.initial_makespan_ns - report.final_makespan_ns) as f64
+        / report.initial_makespan_ns as f64;
+    assert!((report.improvement_pct() - expect).abs() < 1e-9);
+    // The refined mapping replays to exactly the makespan the report claims.
+    let replay = Simulation::run(&topo, &cfg, &tr, &m);
+    assert_eq!(replay.completion_ns, report.final_makespan_ns);
+}

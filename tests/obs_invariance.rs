@@ -11,7 +11,8 @@
 use proptest::prelude::*;
 use std::sync::Mutex;
 use topomap::core::obs;
-use topomap::netsim::trace::stencil_trace;
+use topomap::netsim::config::RoutingMode;
+use topomap::netsim::trace::{stencil_trace, TraceOp};
 use topomap::prelude::*;
 use topomap::taskgraph::gen;
 
@@ -60,6 +61,39 @@ fn topology_for(idx: usize, min_nodes: usize) -> Box<dyn Topology> {
             Box::new(CachedTopology::new(Torus::torus_2d(side, side)))
         }
     }
+}
+
+/// One routed topology per family for the ledger-conservation suite (the
+/// conservation law needs `RoutedTopology` — real links — not just a
+/// distance metric).
+fn routed_for(idx: usize, min_nodes: usize) -> Box<dyn RoutedTopology> {
+    match idx {
+        0 => {
+            let side = (min_nodes as f64).sqrt().ceil() as usize;
+            Box::new(Torus::torus_2d(side, side))
+        }
+        1 => {
+            let dims = (min_nodes as f64).log2().ceil() as u32;
+            Box::new(Hypercube::new(dims.max(1)))
+        }
+        2 => Box::new(GraphTopology::ring(min_nodes)),
+        _ => Box::new(Dragonfly::new(4, min_nodes.div_ceil(4))),
+    }
+}
+
+/// Analytic hop-bytes of a trace under a mapping: each `Send` crosses
+/// exactly `distance(src_proc, dst_proc)` links under minimal routing,
+/// charging its full payload on every link of the path.
+fn trace_hop_bytes(tr: &Trace, topo: &dyn RoutedTopology, m: &Mapping) -> u64 {
+    let mut total = 0u64;
+    for (t, prog) in tr.programs.iter().enumerate() {
+        for op in prog {
+            if let TraceOp::Send { to, bytes } = *op {
+                total += bytes * topo.distance(m.proc_of(t), m.proc_of(to)) as u64;
+            }
+        }
+    }
+    total
 }
 
 const ORDERS: [EstimationOrder; 3] = [
@@ -327,6 +361,53 @@ proptest! {
         let links = report.series("netsim.link_bytes").map_or(0, |s| s.count);
         let busy = report.series("netsim.link_busy_ns").map_or(0, |s| s.count);
         prop_assert_eq!(links, busy, "heatmap series must be parallel arrays");
+    }
+
+    /// Ledger conservation, the netsim analogue of Kirchhoff's law: over
+    /// arbitrary small topologies × random mappings, the per-link byte
+    /// ledger of a deterministic run sums to exactly Σ bytes × distance
+    /// over the trace's `Send`s — no bytes invented, none lost, every
+    /// message charged on a shortest path. Minimal-adaptive routing may
+    /// spread load differently but must never exceed that total (adaptive
+    /// stays minimal).
+    #[test]
+    fn netsim_ledger_conserves_hop_bytes(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+        seed in any::<u64>(),
+        iters in 1usize..=3,
+    ) {
+        let topo = routed_for(topo_idx, g.num_tasks().max(9));
+        let m = RandomMap::new(seed).map(&g, topo.as_ref());
+        let tr = stencil_trace(&g, iters, 1_000);
+        let analytic = trace_hop_bytes(&tr, topo.as_ref(), &m);
+
+        let det = NetworkConfig::default();
+        let rep = Simulation::run_with_links(topo.as_ref(), &det, &tr, &m);
+        let ledger: u64 = rep.acct.bytes_slice().iter().sum();
+        prop_assert_eq!(
+            ledger, analytic,
+            "deterministic routing must charge bytes x distance exactly on {}",
+            topo.name()
+        );
+        prop_assert_eq!(ledger, rep.acct.total_bytes_hops(), "internal ledgers disagree");
+        prop_assert_eq!(rep.stats.bytes_delivered, tr.total_send_bytes());
+        // The ledger-keeping entry point reports the same statistics as
+        // the plain one.
+        prop_assert_eq!(&Simulation::run(topo.as_ref(), &det, &tr, &m), &rep.stats);
+
+        let ada = NetworkConfig {
+            routing: RoutingMode::MinimalAdaptive,
+            ..NetworkConfig::default()
+        };
+        let arep = Simulation::run_with_links(topo.as_ref(), &ada, &tr, &m);
+        let aledger: u64 = arep.acct.bytes_slice().iter().sum();
+        prop_assert!(
+            aledger <= analytic,
+            "adaptive routing left the minimal envelope on {}: {} > {}",
+            topo.name(), aledger, analytic
+        );
+        prop_assert_eq!(arep.stats.bytes_delivered, rep.stats.bytes_delivered);
     }
 }
 

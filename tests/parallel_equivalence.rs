@@ -10,6 +10,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use topomap::core::metrics::hop_bytes;
 use topomap::core::refine::refine_mapping_with;
+use topomap::netsim::trace::stencil_trace;
 use topomap::prelude::*;
 use topomap::taskgraph::gen;
 
@@ -252,7 +253,6 @@ fn regression_seed_2883168991836340068() {
         }
     }
 
-    use topomap::netsim::trace::stencil_trace;
     let sg = gen::stencil2d(3, 4, 512.0, false);
     let stopo = Torus::torus_2d(4, 3);
     let tr = stencil_trace(&sg, 2, 1000);
@@ -265,4 +265,59 @@ fn regression_seed_2883168991836340068() {
         s1.network_messages + s1.local_messages,
         (2 * sg.num_edges() * 2) as u64
     );
+}
+
+/// A saturated scenario for the contention-refinement determinism tests:
+/// a 4x4 stencil randomly scattered over a 32-node torus with free
+/// processors, so the loop has both swaps and migrations to choose from.
+fn contention_fixture() -> (TaskGraph, Torus, Trace, NetworkConfig, Mapping) {
+    let g = gen::stencil2d(4, 4, 65_536.0, false);
+    let topo = Torus::torus_3d(4, 2, 4);
+    let tr = stencil_trace(&g, 6, 2_000);
+    let cfg = NetworkConfig::default().with_bandwidth(200e6);
+    let m = RandomMap::new(11).map(&g, &topo);
+    (g, topo, tr, cfg, m)
+}
+
+/// ContentionRefine fans out only the hop-bytes guard; the accept loop is
+/// serial by design. The whole refinement — final mapping AND every
+/// report field — must be bit-identical at 1, 2, and 8 pool threads.
+#[test]
+fn contention_refine_thread_invariant() {
+    let (g, topo, tr, cfg, start) = contention_fixture();
+
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let refiner = ContentionRefine {
+            par: eager(threads),
+            ..ContentionRefine::default()
+        };
+        let mut m = start.clone();
+        let report = refiner.refine(&g, &topo, &mut m, contention_oracle(&topo, &cfg, &tr));
+        results.push((threads, m, report));
+    }
+    let (_, ref_m, ref_r) = &results[0];
+    assert!(ref_r.accepted > 0, "fixture must exercise the accept path");
+    for (threads, m, r) in &results[1..] {
+        assert_eq!(ref_m, m, "mapping diverged at {threads} threads");
+        assert_eq!(ref_r, r, "report diverged at {threads} threads");
+    }
+}
+
+/// Once the loop converges, running it again is the identity: zero
+/// acceptances, unchanged mapping, and the same makespan it ended on.
+#[test]
+fn contention_refine_idempotent_after_convergence() {
+    let (g, topo, tr, cfg, mut m) = contention_fixture();
+    let refiner = ContentionRefine::default();
+
+    let first = refiner.refine(&g, &topo, &mut m, contention_oracle(&topo, &cfg, &tr));
+    assert!(first.final_makespan_ns <= first.initial_makespan_ns);
+
+    let converged = m.clone();
+    let second = refiner.refine(&g, &topo, &mut m, contention_oracle(&topo, &cfg, &tr));
+    assert_eq!(second.accepted, 0, "converged state accepted an exchange");
+    assert_eq!(m, converged, "idempotent refinement moved a task");
+    assert_eq!(second.initial_makespan_ns, first.final_makespan_ns);
+    assert_eq!(second.final_makespan_ns, first.final_makespan_ns);
 }
