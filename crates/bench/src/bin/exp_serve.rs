@@ -113,6 +113,8 @@ fn request_for(s: &Scenario, id: u64) -> MapRequest {
         id,
         topology: s.topology.to_string(),
         mapper: s.mapper.to_string(),
+        init: None,
+        fast_lane: None,
         hierarchy: s.hierarchy.map(str::to_string),
         hier_dist: None,
         seed: s.seed,

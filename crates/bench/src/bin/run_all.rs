@@ -19,6 +19,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_profile",
     "exp_scaling",
     "exp_hier",
+    "exp_geom",
     "exp_serve",
     "exp_contention",
 ];

@@ -20,11 +20,12 @@ topomap — topology-aware task mapping (IPDPS'06 reproduction)
 USAGE:
   topomap gen      --pattern SPEC [--bytes N] [--seed S] --out FILE
   topomap map      --topology SPEC --tasks FILE --mapper NAME [--seed S]
-                   [--threads auto|N] [--out FILE] [--profile]
+                   [--init NAME] [--threads auto|N] [--out FILE] [--profile]
                    [--trace-out FILE] [--trace-format json|csv]
                    [--hierarchy A1:A2:... [--hier-dist D1:D2:...]]
   topomap eval     --topology SPEC --tasks FILE --mapping FILE
-  topomap simulate --topology SPEC --tasks FILE --mapping FILE
+  topomap simulate --topology SPEC --tasks FILE
+                   (--mapping FILE | --init NAME [--seed S])
                    [--iterations N] [--bandwidth-mbps B] [--compute-ns C]
                    [--refine-contention [--sim-iters N] [--threads auto|N]
                     [--out FILE]]
@@ -43,8 +44,14 @@ SPECS:
             | sweep2d:6x6 | tree:32 | random:N:AVGDEG
   mapper:   random | topolb | topolb-first | topolb-third | topocentlb
             | refine | identity | linear | anneal | genetic | hier
+            | sfc | sfc-morton | rcb
   threads:  worker threads for the mapper (auto = detect; results are
             identical for every setting)
+  init:     warm start. With '--mapper refine', '--init NAME' refines
+            NAME's mapping instead of a cold TopoLB run (the near-linear
+            geometric mappers sfc/rcb make good inits). With 'simulate
+            --refine-contention', '--init NAME' computes the starting
+            mapping on the spot instead of loading --mapping.
   hierarchy: --hierarchy 4:8:16 selects the hierarchical mapper (same as
             --mapper hier), decomposing the machine into blocks of 4,
             cabinets of 8x4, ... innermost level first; the product must
@@ -190,6 +197,9 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
                  (or spell it '--mapper hier')"
             ));
         }
+        if args.optional("init").is_some() {
+            return Err("--init only applies to '--mapper refine'".into());
+        }
         specs::parse_hier_mapper(
             topo_spec,
             topo.as_topology(),
@@ -201,7 +211,7 @@ pub fn cmd_map(args: &Args) -> Result<String, String> {
         if args.optional("hier-dist").is_some() {
             return Err("--hier-dist needs --hierarchy (or --mapper hier)".into());
         }
-        specs::parse_mapper(args.required("mapper")?, seed, par)?
+        specs::parse_mapper_with_init(args.required("mapper")?, args.optional("init"), seed, par)?
     };
     let t = topo.as_topology();
     if tasks.num_tasks() > t.num_nodes() {
@@ -267,11 +277,38 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let topo = specs::parse_topology(args.required("topology")?)?;
     let routed = topo.as_routed()?;
     let tasks = tgio::load(args.required("tasks")?).map_err(|e| e.to_string())?;
-    let mapping = load_mapping(args.required("mapping")?)?;
+    let refine_contention = args.flag("refine-contention");
+    let mapping = match (args.optional("init"), args.optional("mapping")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--init and --mapping are mutually exclusive (the init mapper \
+                 produces the starting mapping)"
+                    .into(),
+            )
+        }
+        (Some(init_spec), None) => {
+            if !refine_contention {
+                return Err("--init needs --refine-contention (otherwise run \
+                     'topomap map' and pass its --out as --mapping)"
+                    .into());
+            }
+            let seed: u64 = args.parsed_or("seed", 0)?;
+            let par = specs::parse_threads(args.optional("threads").unwrap_or("auto"))?;
+            let m = specs::parse_mapper(init_spec, seed, par)?;
+            if tasks.num_tasks() > routed.num_nodes() {
+                return Err(format!(
+                    "{} tasks need partitioning onto {} processors first",
+                    tasks.num_tasks(),
+                    routed.num_nodes()
+                ));
+            }
+            m.map(&tasks, routed)
+        }
+        (None, _) => load_mapping(args.required("mapping")?)?,
+    };
     let iterations: usize = args.parsed_or("iterations", 100)?;
     let bandwidth_mbps: f64 = args.parsed_or("bandwidth-mbps", 500.0)?;
     let compute_ns: u64 = args.parsed_or("compute-ns", 5_000)?;
-    let refine_contention = args.flag("refine-contention");
     if !refine_contention {
         if args.optional("sim-iters").is_some() {
             return Err("--sim-iters needs --refine-contention".into());
@@ -697,6 +734,93 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--hierarchy"), "{err}");
+    }
+
+    #[test]
+    fn geometric_mappers_and_warm_start_run_end_to_end() {
+        let tasks_path = tmp("geom-tasks.json");
+        cmd_gen(&args(&["--pattern", "stencil2d:8x8", "--out", &tasks_path])).unwrap();
+        // SFC on a matching torus embeds perfectly.
+        for mapper in ["sfc", "sfc-morton", "rcb"] {
+            let out = cmd_map(&args(&[
+                "--topology",
+                "torus:8x8",
+                "--tasks",
+                &tasks_path,
+                "--mapper",
+                mapper,
+            ]))
+            .unwrap();
+            assert!(out.contains("hops-per-byte"), "{mapper}: {out}");
+        }
+        // Warm-started refine reports the init in its name.
+        let out = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "refine",
+            "--init",
+            "sfc",
+        ]))
+        .unwrap();
+        assert!(out.contains("SFC(Hilbert)+Refine"), "{out}");
+        assert!(out.contains("hops-per-byte: 1.0000"), "{out}");
+        // --init outside refine is rejected.
+        let err = cmd_map(&args(&[
+            "--topology",
+            "torus:8x8",
+            "--tasks",
+            &tasks_path,
+            "--mapper",
+            "topolb",
+            "--init",
+            "sfc",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("refine"), "{err}");
+    }
+
+    #[test]
+    fn simulate_init_computes_starting_mapping() {
+        let tasks_path = tmp("sim-init-tasks.json");
+        cmd_gen(&args(&[
+            "--pattern",
+            "stencil2d:4x4",
+            "--bytes",
+            "65536",
+            "--out",
+            &tasks_path,
+        ]))
+        .unwrap();
+        let base = [
+            "--topology",
+            "torus:4x4",
+            "--tasks",
+            tasks_path.as_str(),
+            "--init",
+            "sfc",
+        ];
+        // --init without --refine-contention is rejected.
+        let err = cmd_simulate(&args(&base)).unwrap_err();
+        assert!(err.contains("--refine-contention"), "{err}");
+        // With it, the warm start feeds the contention loop directly.
+        let mut full = base.to_vec();
+        full.extend([
+            "--iterations",
+            "5",
+            "--refine-contention",
+            "--sim-iters",
+            "8",
+        ]);
+        let out = cmd_simulate(&args_with_profile(&full)).unwrap();
+        assert!(out.contains("contention refine:"), "{out}");
+        // --init and --mapping together are rejected.
+        let mut both = base.to_vec();
+        both.extend(["--mapping", "/tmp/nope.json", "--refine-contention"]);
+        let err = cmd_simulate(&args_with_profile(&both)).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -207,6 +207,8 @@ fn serve_subcommand_answers_requests_then_drains() {
             id: 7,
             topology: "torus:6x6".to_string(),
             mapper: "topolb".to_string(),
+            init: None,
+            fast_lane: None,
             hierarchy: None,
             hier_dist: None,
             seed: 0,

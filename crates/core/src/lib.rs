@@ -50,6 +50,7 @@ pub mod estimation;
 pub mod estimation_naive;
 pub mod estimation_uniform;
 pub mod genetic;
+pub mod geom;
 pub mod hierarchy;
 pub mod linear;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub use anneal::SimulatedAnnealingMap;
 pub use contention::{ContentionRefine, ContentionReport, SimObservation};
 pub use estimation::EstimationOrder;
 pub use genetic::GeneticMap;
+pub use geom::{synthesize_coords, Curve, GeomError, RcbMap, SfcMap};
 pub use hierarchy::{auto_arities, Descent, HierMapper};
 pub use linear::LinearOrderMap;
 pub use optimal::IdentityMap;
@@ -180,6 +182,18 @@ pub trait Mapper {
 
     /// Strategy name for experiment output (e.g. `"TopoLB"`).
     fn name(&self) -> String;
+}
+
+/// Boxed mappers are mappers too, so parsed/dynamic strategies compose
+/// with generic wrappers like [`RefineTopoLb`] (e.g. `--init sfc`).
+impl Mapper for Box<dyn Mapper> {
+    fn map(&self, tasks: &TaskGraph, topo: &dyn Topology) -> Mapping {
+        (**self).map(tasks, topo)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,155 @@
+//! Property suite for the geometric fast path: curve encoders are exact
+//! bijections with unit-step locality, the weighted median is optimal,
+//! and the SFC/RCB mappers are injective, geometry-faithful (identity
+//! quality on a matching stencil/torus pair), and loud about missing
+//! coordinates.
+
+use proptest::prelude::*;
+use topomap_core::geom::{
+    hilbert_index, hilbert_point, morton_index, morton_point, weighted_median_split,
+};
+use topomap_core::{metrics, Curve, Mapper, RcbMap, SfcMap};
+use topomap_taskgraph::gen;
+use topomap_topology::{Topology, Torus};
+
+fn l1<const N: usize>(a: [u32; N], b: [u32; N]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, y)| (i64::from(x) - i64::from(y)).unsigned_abs())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Morton and Hilbert are bijections on the full b-bit grid: every
+    /// point round-trips through its index, in 2-D and 3-D alike.
+    #[test]
+    fn curve_encoders_are_bijections(
+        x in any::<u32>(), y in any::<u32>(), z in any::<u32>(), bits in 1u32..=8,
+    ) {
+        let mask = (1u32 << bits) - 1;
+        let p2 = [x & mask, y & mask];
+        let p3 = [x & mask, y & mask, z & mask];
+
+        prop_assert_eq!(morton_point::<2>(morton_index(p2, bits), bits), p2);
+        prop_assert_eq!(morton_point::<3>(morton_index(p3, bits), bits), p3);
+        prop_assert_eq!(hilbert_point::<2>(hilbert_index(p2, bits), bits), p2);
+        prop_assert_eq!(hilbert_point::<3>(hilbert_index(p3, bits), bits), p3);
+
+        // Indices stay inside the curve's range.
+        prop_assert!(morton_index(p3, bits) < 1u64 << (3 * bits));
+        prop_assert!(hilbert_index(p3, bits) < 1u64 << (3 * bits));
+    }
+
+    /// The defining Hilbert property: consecutive curve indices are
+    /// nearest neighbours on the grid (L1 distance exactly 1). Morton
+    /// has no such bound, but each step still changes the point.
+    #[test]
+    fn hilbert_consecutive_indices_are_grid_neighbours(
+        d in any::<u64>(), bits in 1u32..=6,
+    ) {
+        let d2 = d % ((1u64 << (2 * bits)) - 1);
+        prop_assert_eq!(
+            l1(hilbert_point::<2>(d2, bits), hilbert_point::<2>(d2 + 1, bits)),
+            1
+        );
+        let d3 = d % ((1u64 << (3 * bits)) - 1);
+        prop_assert_eq!(
+            l1(hilbert_point::<3>(d3, bits), hilbert_point::<3>(d3 + 1, bits)),
+            1
+        );
+        let m3 = morton_point::<3>(d3, bits);
+        prop_assert!(l1(m3, morton_point::<3>(d3 + 1, bits)) >= 1);
+    }
+
+    /// `weighted_median_split` returns the prefix boundary whose weight
+    /// is closest to the target, preferring the earlier boundary on ties
+    /// — verified against an exhaustive scan.
+    #[test]
+    fn weighted_median_is_optimal(
+        ws in proptest::collection::vec(0.0f64..100.0, 1..40),
+        frac in 0.0f64..=1.0,
+    ) {
+        let total: f64 = ws.iter().sum();
+        let target = frac * total;
+        let k = weighted_median_split(&ws, target);
+        prop_assert!(k <= ws.len());
+        let prefix = |j: usize| ws[..j].iter().sum::<f64>();
+        let best = (prefix(k) - target).abs();
+        for j in 0..=ws.len() {
+            let err = (prefix(j) - target).abs();
+            prop_assert!(best <= err + 1e-9, "split {k} (err {best}) beaten by {j} (err {err})");
+            if (err - best).abs() <= 1e-9 {
+                prop_assert!(k <= j, "tie at {j} must resolve to the earliest boundary");
+            }
+        }
+    }
+
+    /// Both geometric mappers produce injective mappings (one task per
+    /// processor) on arbitrary coordinate-bearing workloads, for every
+    /// curve and for task counts up to the machine size.
+    #[test]
+    fn geometric_mappings_are_injective(
+        n in 2usize..=36, deg in 0.5f64..3.0, seed in any::<u64>(),
+    ) {
+        let g = gen::random_graph(n, deg.min(n as f64 - 1.0), 1.0, 1000.0, seed);
+        let topo = Torus::torus_2d(6, 6);
+        for mapper in [
+            Box::new(SfcMap::hilbert()) as Box<dyn Mapper>,
+            Box::new(SfcMap::morton()),
+            Box::new(RcbMap::new()),
+        ] {
+            let m = mapper.map(&g, &topo);
+            let mut seen = std::collections::HashSet::new();
+            for t in 0..n {
+                let p = m.proc_of(t);
+                prop_assert!(p < topo.num_nodes(), "{} maps off-machine", mapper.name());
+                prop_assert!(seen.insert(p), "{} double-books node {p}", mapper.name());
+            }
+        }
+    }
+
+    /// RCB splits weights evenly: on a uniform stencil filling the
+    /// machine exactly, every recursion level bisects both sides in
+    /// lockstep, so the placement cost stays near the stencil optimum.
+    #[test]
+    fn rcb_balances_uniform_stencils(side in 2usize..=10) {
+        let g = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        let m = RcbMap::new().map(&g, &topo);
+        let hpb = metrics::hops_per_byte(&g, &topo, &m);
+        prop_assert!(hpb < 2.5, "side {side}: hpb {hpb}");
+    }
+}
+
+/// The identity-quality anchor: a stencil whose coordinates coincide
+/// with the torus grid embeds perfectly under the shared Hilbert order.
+#[test]
+fn sfc_reaches_identity_quality_on_matching_stencil() {
+    for side in [4usize, 8, 16, 32] {
+        let g = gen::stencil2d(side, side, 1024.0, false);
+        let topo = Torus::torus_2d(side, side);
+        let m = SfcMap::hilbert().map(&g, &topo);
+        let hpb = metrics::hops_per_byte(&g, &topo, &m);
+        assert!((hpb - 1.0).abs() < 1e-12, "side {side}: hpb {hpb}");
+    }
+}
+
+/// Strict mode refuses coordinate-free workloads with a diagnosable
+/// error instead of silently falling back to the BFS embedding.
+#[test]
+fn strict_mappers_error_without_coordinates() {
+    let g = gen::ring(16, 100.0);
+    assert!(
+        g.coords().is_none(),
+        "ring generator must stay coordinate-free"
+    );
+    let topo = Torus::torus_2d(4, 4);
+    let sfc = SfcMap::strict(Curve::Hilbert)
+        .try_map(&g, &topo)
+        .unwrap_err();
+    assert!(sfc.to_string().contains("coordinates"), "{sfc}");
+    let rcb = RcbMap::strict().try_map(&g, &topo).unwrap_err();
+    assert!(rcb.to_string().contains("coordinates"), "{rcb}");
+}

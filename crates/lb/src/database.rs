@@ -22,6 +22,10 @@ pub struct LbDatabase {
     pub loads: Vec<f64>,
     /// Directed communication records (merged per ordered pair).
     pub comm: Vec<CommRecord>,
+    /// Optional per-object spatial coordinates (geometric workloads).
+    /// Absent or `null` in pre-geometry dumps and wire requests — both
+    /// load as `None`.
+    pub coords: Option<Vec<[f64; 3]>>,
 }
 
 impl LbDatabase {
@@ -30,6 +34,7 @@ impl LbDatabase {
         LbDatabase {
             loads: vec![0.0; n],
             comm: Vec::new(),
+            coords: None,
         }
     }
 
@@ -83,6 +88,9 @@ impl LbDatabase {
         for r in &self.comm {
             b.add_comm(r.from, r.to, r.bytes);
         }
+        if let Some(cs) = &self.coords {
+            b.set_coords(cs.clone());
+        }
         b.build()
     }
 
@@ -109,6 +117,7 @@ impl LbDatabase {
                 messages: 1,
             });
         }
+        db.coords = g.coords().map(<[[f64; 3]]>::to_vec);
         db
     }
 }

@@ -36,6 +36,8 @@
 //!     id: 1,
 //!     topology: "torus:8x8".into(),
 //!     mapper: "topolb".into(),
+//!     init: None,
+//!     fast_lane: None,
 //!     hierarchy: None,
 //!     hier_dist: None,
 //!     seed: 0,

@@ -38,6 +38,10 @@ pub struct DistOracle {
     dist: Vec<u32>,
     row_sums: Vec<u64>,
     diameter: u32,
+    /// Per-node physical coordinates, captured only when every node of
+    /// the source machine reports them (geometric mappers need the full
+    /// point set or none at all).
+    coords: Option<Vec<[f64; 3]>>,
 }
 
 impl DistOracle {
@@ -57,12 +61,14 @@ impl DistOracle {
             }
             row_sums[a] = sum;
         }
+        let coords = (0..n).map(|v| inner.node_coords(v)).collect();
         DistOracle {
             name: inner.name(),
             n,
             dist,
             row_sums,
             diameter,
+            coords,
         }
     }
 
@@ -99,6 +105,10 @@ impl Topology for DistOracle {
         let row = &self.dist[from * self.n..(from + 1) * self.n];
         out.clear();
         out.extend(targets.iter().map(|&t| row[t]));
+    }
+
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        self.coords.as_ref().map(|cs| cs[node])
     }
 }
 
@@ -221,6 +231,19 @@ mod tests {
             }
         }
         assert_eq!(o.matrix_bytes(), 16 * 16 * 4 + 16 * 8);
+        // Geometry must survive the oracle: SFC/RCB mappers read node
+        // coordinates through the same `Topology` handle.
+        for a in 0..16 {
+            assert_eq!(o.node_coords(a), t.node_coords(a), "coords({a})");
+        }
+        assert!(o.node_coords(5).is_some());
+    }
+
+    #[test]
+    fn oracle_reports_no_coords_when_machine_has_none() {
+        let parsed = parse_topology("fattree:2:3").unwrap();
+        let o = DistOracle::build(parsed.as_topology());
+        assert_eq!(o.node_coords(0), None);
     }
 
     #[test]

@@ -140,6 +140,15 @@ pub struct MapRequest {
     pub topology: String,
     /// Mapper spec, e.g. `topolb` / `refine` / `hier`.
     pub mapper: String,
+    /// Warm-start spec for mapper `refine`: refine this mapper's output
+    /// instead of the default cold TopoLB run (e.g. `sfc` / `rcb`).
+    /// Absent on the wire = `None` (older clients stay compatible).
+    pub init: Option<String>,
+    /// Opt into the fast lane: when the estimated cost of the requested
+    /// mapper would overrun the remaining deadline budget, the server
+    /// swaps in the near-linear Hilbert SFC mapper instead of letting
+    /// the job die on the deadline. Absent on the wire = off.
+    pub fast_lane: Option<bool>,
     /// Hierarchy arity spec (`4:4:4`) — selects the hierarchical mapper.
     pub hierarchy: Option<String>,
     /// Per-level distance spec for the hierarchy (`1:10:100`).
@@ -154,6 +163,11 @@ pub struct MapRequest {
 }
 
 /// Client → server messages.
+///
+/// `Map` dwarfs the control variants by design — the request body *is*
+/// the workload — and boxing it would push the indirection into every
+/// encode/decode site for no wire-level gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Liveness + version handshake.
@@ -259,6 +273,10 @@ pub enum Response {
         /// Whether the hierarchy factorization was served from cache
         /// (`None` for non-hierarchical mappers).
         hier_cache_hit: Option<bool>,
+        /// Whether the fast lane replaced the requested mapper with the
+        /// near-linear SFC mapper to meet the deadline (`None` when the
+        /// job did not opt in via [`MapRequest::fast_lane`]).
+        fast_lane_used: Option<bool>,
     },
     /// Backpressure: the request queue is at its bound. The job was NOT
     /// enqueued; retry later.
@@ -329,6 +347,8 @@ mod tests {
                 id: 42,
                 topology: "torus:2x2".into(),
                 mapper: "topolb".into(),
+                init: None,
+                fast_lane: Some(true),
                 hierarchy: None,
                 hier_dist: None,
                 seed: 7,
@@ -337,6 +357,23 @@ mod tests {
             },
         };
         assert_eq!(roundtrip_req(&req), req);
+    }
+
+    #[test]
+    fn legacy_map_request_without_new_fields_decodes() {
+        // A request from a pre-fast-lane client (no init/fast_lane keys)
+        // must still decode, with both as None.
+        let legacy = r#"{"Map":{"req":{"id":1,"topology":"torus:2x2",
+            "mapper":"topolb","hierarchy":null,"hier_dist":null,"seed":0,
+            "deadline_ms":null,
+            "database":{"loads":[1.0,1.0],"comm":[]}}}}"#;
+        match decode_request(legacy.as_bytes()).unwrap() {
+            Request::Map { req } => {
+                assert_eq!(req.init, None);
+                assert_eq!(req.fast_lane, None);
+            }
+            other => panic!("expected Map, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use topomap_core::{metrics, obs, Mapper, Parallelism};
+use topomap_core::{metrics, obs, Curve, Mapper, Parallelism, SfcMap};
 use topomap_topology::Topology;
 
 #[cfg(unix)]
@@ -44,7 +44,7 @@ use crate::proto::{
     encode_response, write_frame, ErrorKind, FrameError, MapRequest, Request, Response,
     ServerStats, PROTO_VERSION,
 };
-use crate::specs::{hier_mapper_from_plan, parse_mapper};
+use crate::specs::{hier_mapper_from_plan, parse_mapper_with_init};
 
 /// How often blocked threads wake to poll the stop flag.
 const POLL: Duration = Duration::from_millis(25);
@@ -521,7 +521,7 @@ fn run_job(job: &Job, shared: &Shared) -> Response {
             };
         }
     }
-    match map_job(&job.req, shared) {
+    match map_job(&job.req, job.deadline, shared) {
         Ok(resp) => {
             tag_request(id, "ok");
             resp
@@ -568,8 +568,30 @@ fn validate_database(db: &topomap_lb::LbDatabase) -> Result<(), (ErrorKind, Stri
     Ok(())
 }
 
+/// Rough wall-clock estimate for a mapper spec on an n-task, p-processor
+/// job, used only by the fast-lane decision. The quadratic greedy
+/// mappers touch ~n·p candidate cells at a couple of nanoseconds each;
+/// `refine` multiplies that by its sweep passes; the search heuristics
+/// by their population/schedule factor. The near-linear lanes (sfc, rcb,
+/// linear, identity, random) never trip the estimate.
+fn estimated_cost(mapper: &str, n: usize, p: usize) -> Duration {
+    const CELL_NS: u64 = 2;
+    let cells = (n as u64).saturating_mul(p as u64);
+    let ns = match mapper {
+        "topolb" | "topolb-first" | "topolb-third" | "topocentlb" => cells.saturating_mul(CELL_NS),
+        "refine" => cells.saturating_mul(CELL_NS * 4),
+        "anneal" | "genetic" => cells.saturating_mul(CELL_NS * 8),
+        _ => (n as u64).saturating_mul(200),
+    };
+    Duration::from_nanos(ns)
+}
+
 /// Resolve specs through the caches, run the kernel, score the mapping.
-fn map_job(req: &MapRequest, shared: &Shared) -> Result<Response, (ErrorKind, String)> {
+fn map_job(
+    req: &MapRequest,
+    deadline: Option<Instant>,
+    shared: &Shared,
+) -> Result<Response, (ErrorKind, String)> {
     let bad_spec = |e: String| (ErrorKind::BadSpec, e);
 
     let (oracle, oracle_cache_hit) = {
@@ -623,10 +645,16 @@ fn map_job(req: &MapRequest, shared: &Shared) -> Result<Response, (ErrorKind, St
             ));
         }
         (
-            parse_mapper(&req.mapper, req.seed, shared.par).map_err(bad_spec)?,
+            parse_mapper_with_init(&req.mapper, req.init.as_deref(), req.seed, shared.par)
+                .map_err(bad_spec)?,
             None,
         )
     };
+    if hierarchical && req.init.is_some() {
+        return Err(bad_spec(
+            "init only applies to the 'refine' mapper, not hierarchies".to_string(),
+        ));
+    }
 
     validate_database(&req.database)?;
     let tasks = req.database.to_task_graph();
@@ -642,6 +670,29 @@ fn map_job(req: &MapRequest, shared: &Shared) -> Result<Response, (ErrorKind, St
             ),
         ));
     }
+
+    // Fast lane (opt-in): a quadratic mapper that cannot finish inside
+    // the remaining deadline budget is swapped for the near-linear
+    // Hilbert SFC mapper — a worse-but-on-time answer instead of a
+    // guaranteed Deadline error. Coordinate-bearing workloads get their
+    // real geometry; others fall back to the BFS-layering embedding.
+    let fast_lane_used = if req.fast_lane.unwrap_or(false) && !hierarchical {
+        match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                estimated_cost(&req.mapper, tasks.num_tasks(), oracle.num_nodes()) > remaining
+            }
+            None => false,
+        }
+    } else {
+        false
+    };
+    let mapper: Box<dyn Mapper> = if fast_lane_used {
+        obs::counter_add("serve.fast_lane", 1);
+        Box::new(SfcMap::with_parallelism(Curve::Hilbert, shared.par))
+    } else {
+        mapper
+    };
 
     let started = Instant::now();
     let mapping = {
@@ -674,6 +725,7 @@ fn map_job(req: &MapRequest, shared: &Shared) -> Result<Response, (ErrorKind, St
         elapsed_us,
         oracle_cache_hit,
         hier_cache_hit,
+        fast_lane_used: req.fast_lane.map(|requested| requested && fast_lane_used),
     })
 }
 

@@ -9,8 +9,9 @@
 //! | mapper | `random`, `topolb`, `topolb-first`, `topolb-third`, `topocentlb`, `refine`, `identity`, `linear`, `anneal`, `genetic`, `hier` |
 
 use topomap_core::{
-    auto_arities, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap, Mapper,
-    Parallelism, RandomMap, RefineTopoLb, SimulatedAnnealingMap, TopoCentLb, TopoLb,
+    auto_arities, Curve, EstimationOrder, GeneticMap, HierMapper, IdentityMap, LinearOrderMap,
+    Mapper, Parallelism, RandomMap, RcbMap, RefineTopoLb, SfcMap, SimulatedAnnealingMap,
+    TopoCentLb, TopoLb,
 };
 use topomap_taskgraph::{gen, TaskGraph};
 use topomap_topology::{
@@ -359,10 +360,39 @@ pub fn parse_mapper(spec: &str, seed: u64, par: Parallelism) -> Result<Box<dyn M
             par,
             ..GeneticMap::new(seed)
         })),
+        "sfc" => Ok(Box::new(SfcMap::with_parallelism(Curve::Hilbert, par))),
+        "sfc-morton" => Ok(Box::new(SfcMap::with_parallelism(Curve::Morton, par))),
+        "rcb" => Ok(Box::new(RcbMap::with_parallelism(par))),
         other => Err(format!(
             "unknown mapper '{other}' (try random/topolb/topolb-first/topolb-third/\
-             topocentlb/refine/identity/linear/anneal/genetic)"
+             topocentlb/refine/identity/linear/anneal/genetic/sfc/sfc-morton/rcb)"
         )),
+    }
+}
+
+/// Resolve a mapper spec with an optional warm-start: `--init I` turns
+/// `refine` into a refinement of mapper `I`'s output instead of the
+/// default cold TopoLB start (the near-linear geometric mappers make
+/// good inits: same final quality, far fewer accepted passes). Only the
+/// `refine` spec accepts an init.
+pub fn parse_mapper_with_init(
+    spec: &str,
+    init: Option<&str>,
+    seed: u64,
+    par: Parallelism,
+) -> Result<Box<dyn Mapper>, String> {
+    match init {
+        None => parse_mapper(spec, seed, par),
+        Some(init_spec) => {
+            if spec != "refine" {
+                return Err(format!(
+                    "--init only applies to the 'refine' mapper (got '{spec}')"
+                ));
+            }
+            let inner = parse_mapper(init_spec, seed, par)
+                .map_err(|e| format!("bad --init mapper: {e}"))?;
+            Ok(Box::new(RefineTopoLb::with_parallelism(inner, par)))
+        }
     }
 }
 
@@ -452,6 +482,9 @@ mod tests {
             "linear",
             "anneal",
             "genetic",
+            "sfc",
+            "sfc-morton",
+            "rcb",
         ] {
             assert!(
                 parse_mapper(spec, 1, Parallelism::default()).is_ok(),
@@ -459,6 +492,28 @@ mod tests {
             );
         }
         assert!(parse_mapper("bogus", 1, Parallelism::default()).is_err());
+    }
+
+    #[test]
+    fn init_specs_wrap_refine() {
+        let par = Parallelism::default();
+        // Warm-started refine names the init mapper.
+        let m = parse_mapper_with_init("refine", Some("sfc"), 1, par).unwrap();
+        assert_eq!(m.name(), "SFC(Hilbert)+Refine");
+        let m = parse_mapper_with_init("refine", Some("rcb"), 1, par).unwrap();
+        assert_eq!(m.name(), "RCB+Refine");
+        // No init = the plain spec path.
+        let m = parse_mapper_with_init("refine", None, 1, par).unwrap();
+        assert_eq!(m.name(), "TopoLB+Refine");
+        // Init only composes with refine; bad inits are reported.
+        match parse_mapper_with_init("topolb", Some("sfc"), 1, par) {
+            Err(e) => assert!(e.contains("refine"), "{e}"),
+            Ok(_) => panic!("init on non-refine should fail"),
+        }
+        match parse_mapper_with_init("refine", Some("bogus"), 1, par) {
+            Err(e) => assert!(e.contains("--init"), "{e}"),
+            Ok(_) => panic!("bogus init should fail"),
+        }
     }
 
     #[test]

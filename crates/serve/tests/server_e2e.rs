@@ -81,6 +81,8 @@ fn request_for(s: &Scenario, id: u64) -> MapRequest {
         id,
         topology: s.topology.to_string(),
         mapper: s.mapper.to_string(),
+        init: None,
+        fast_lane: None,
         hierarchy: s.hierarchy.map(str::to_string),
         hier_dist: None,
         seed: s.seed,
@@ -414,6 +416,78 @@ fn unix_socket_serves_like_tcp() {
     }
     handle.join();
     assert!(!path.exists(), "socket file removed on join");
+}
+
+#[test]
+fn fast_lane_rescues_deadline_and_warm_start_serves() {
+    let handle = spawn_ephemeral(ServeConfig::default()).unwrap();
+    let mut client = Client::connect_tcp(handle.addr()).unwrap();
+
+    // 64x64 stencil = 4096 tasks on a 64x64 torus: topolb's estimated
+    // n·p cost (~33ms) overruns a 20ms budget, so the opted-in fast
+    // lane swaps in the near-linear SFC mapper and answers on time.
+    let mut req = request_for(&SCENARIOS[0], 21);
+    req.mapper = "topolb".to_string();
+    req.fast_lane = Some(true);
+    let g = parse_pattern("stencil2d:64x64", 1024.0, 0).unwrap();
+    req.topology = "torus:64x64".to_string();
+    req.database = LbDatabase::from_task_graph(&g);
+    req.deadline_ms = Some(20);
+    match client.map(req.clone()).unwrap() {
+        Response::MapOk {
+            fast_lane_used,
+            hops_per_byte,
+            ..
+        } => {
+            assert_eq!(fast_lane_used, Some(true), "lane should engage");
+            // The stencil embeds perfectly under the Hilbert order.
+            assert!((hops_per_byte - 1.0).abs() < 1e-9, "{hops_per_byte}");
+        }
+        other => panic!("fast lane should beat the deadline: {other:?}"),
+    }
+
+    // Same job without the opt-in reports None (never silently swaps).
+    req.fast_lane = None;
+    req.deadline_ms = Some(60_000);
+    match client.map(req.clone()).unwrap() {
+        Response::MapOk { fast_lane_used, .. } => assert_eq!(fast_lane_used, None),
+        other => panic!("{other:?}"),
+    }
+
+    // Warm start over the wire: refine(init=sfc) matches the direct run.
+    let mut warm = request_for(&SCENARIOS[0], 23);
+    warm.mapper = "refine".to_string();
+    warm.init = Some("sfc".to_string());
+    let direct = {
+        let parsed = parse_topology("torus:8x8").unwrap();
+        let tasks = database_for(&SCENARIOS[0]).to_task_graph();
+        let m = topomap_serve::specs::parse_mapper_with_init(
+            "refine",
+            Some("sfc"),
+            SCENARIOS[0].seed,
+            Parallelism::serial(),
+        )
+        .unwrap();
+        topomap_core::Mapper::map(&*m, &tasks, parsed.as_topology())
+            .as_slice()
+            .to_vec()
+    };
+    match client.map(warm).unwrap() {
+        Response::MapOk { proc_of_task, .. } => assert_eq!(proc_of_task, direct),
+        other => panic!("{other:?}"),
+    }
+
+    // init on a non-refine mapper is a BadSpec, not a panic.
+    let mut bad = request_for(&SCENARIOS[0], 24);
+    bad.init = Some("sfc".to_string());
+    match client.map(bad).unwrap() {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::BadSpec);
+            assert!(message.contains("refine"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    handle.join();
 }
 
 #[test]

@@ -57,6 +57,8 @@ fn arb_map_request() -> proptest::strategy::BoxedStrategy<MapRequest> {
                 id,
                 topology: TOPOS[t].to_string(),
                 mapper: MAPPERS[m].to_string(),
+                init: None,
+                fast_lane: None,
                 hierarchy: HIERS[h].map(str::to_string),
                 hier_dist: DISTS[d].map(str::to_string),
                 seed,
@@ -136,6 +138,7 @@ fn arb_response() -> proptest::strategy::BoxedStrategy<Response> {
                         elapsed_us: us,
                         oracle_cache_hit: ohit,
                         hier_cache_hit: has_hier.then_some(hhit),
+                        fast_lane_used: hhit.then_some(ohit),
                     },
                 )
                 .boxed(),

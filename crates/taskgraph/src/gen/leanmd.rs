@@ -123,10 +123,28 @@ pub fn leanmd(p: usize, cfg: &LeanMdConfig) -> TaskGraph {
     // start, so every pair gets ⌊k/|pairs|⌋ or ⌈k/|pairs|⌉ computes — as in
     // LeanMD, where each cell pair owns exactly its computes and the
     // virtualization ratio sets how many land per processor group.
+    // Cells sit at their grid positions; computes at the midpoint of
+    // their parent cells (self-pairs land on the cell itself).
+    let cell_coord = |c: TaskId| -> [f64; 3] {
+        [
+            (c / strides[0] % dims[0]) as f64,
+            (c / strides[1] % dims[1]) as f64,
+            (c % dims[2]) as f64,
+        ]
+    };
+    let mut coords: Vec<[f64; 3]> = (0..p).map(cell_coord).collect();
+    coords.resize(n, [0.0; 3]);
+
     let offset = rng.gen_range(0..pairs.len());
     for i in 0..cfg.num_computes {
         let (ca, cb) = pairs[(offset + i) % pairs.len()];
         let t = p + i;
+        let (pa, pb) = (cell_coord(ca), cell_coord(cb));
+        coords[t] = [
+            0.5 * (pa[0] + pb[0]),
+            0.5 * (pa[1] + pb[1]),
+            0.5 * (pa[2] + pb[2]),
+        ];
         // Force computation cost scales with the product of atom counts.
         let cost = scales[ca] * scales[cb] * if ca == cb { 0.5 } else { 1.0 };
         b.set_task_weight(t, cost);
@@ -138,6 +156,7 @@ pub fn leanmd(p: usize, cfg: &LeanMdConfig) -> TaskGraph {
             b.add_comm(cb, t, vol_b);
         }
     }
+    b.set_coords(coords);
     b.build()
 }
 

@@ -83,6 +83,9 @@ pub fn random_geometric(
             }
         }
     }
+    // The sampled points ARE the geometry; expose them to the SFC/RCB
+    // mappers (z padded to 0 for the planar model).
+    b.set_coords(pts.iter().map(|&(x, y)| [x, y, 0.0]).collect());
     b.build()
 }
 

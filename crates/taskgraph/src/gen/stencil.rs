@@ -55,6 +55,20 @@ pub fn stencil_nd(dims: &[usize], msg_bytes: f64, periodic: bool) -> TaskGraph {
             }
         }
     }
+    // Grid positions are the natural task coordinates (padded to 3-D);
+    // higher-dimensional stencils have no 3-D embedding, so none.
+    if dims.len() <= 3 {
+        let coords = (0..n)
+            .map(|id| {
+                let mut c = [0.0f64; 3];
+                for (d, cd) in c.iter_mut().enumerate().take(dims.len()) {
+                    *cd = ((id / strides[d]) % dims[d]) as f64;
+                }
+                c
+            })
+            .collect();
+        b.set_coords(coords);
+    }
     b.build()
 }
 
@@ -120,6 +134,19 @@ mod tests {
         let g = stencil2d(2, 3, 1.0, true);
         // dim0 size 2: single edge pair per column; dim1 size 3: ring.
         assert_eq!(g.degree(0), 1 + 2);
+    }
+
+    #[test]
+    fn stencil_coords_are_grid_positions() {
+        let g = stencil2d(4, 5, 1.0, false);
+        let cs = g.coords().unwrap();
+        // Row-major: id = x*5 + y.
+        assert_eq!(cs[0], [0.0, 0.0, 0.0]);
+        assert_eq!(cs[7], [1.0, 2.0, 0.0]);
+        let g3 = stencil3d(2, 3, 4, 1.0, false);
+        assert_eq!(g3.coords().unwrap()[12 + 2 * 4 + 3], [1.0, 2.0, 3.0]);
+        // 4-D stencils have no 3-D embedding.
+        assert!(stencil_nd(&[2, 2, 2, 2], 1.0, false).coords().is_none());
     }
 
     #[test]

@@ -97,6 +97,26 @@ mod tests {
     }
 
     #[test]
+    fn coords_roundtrip_and_legacy_dumps_load() {
+        // stencil2d carries coordinates; they survive the JSON roundtrip.
+        let g = gen::stencil2d(3, 4, 64.0, false);
+        assert!(g.coords().is_some());
+        let mut buf = Vec::new();
+        write_json(&g, &mut buf).unwrap();
+        assert_eq!(read_json(buf.as_slice()).unwrap(), g);
+        // A pre-geometry dump (no "coords" key) still loads, as None.
+        let legacy = r#"{"vertex_weights":[1.0,1.0],"edges":[[0,1,8.0]]}"#;
+        let g2 = read_json(legacy.as_bytes()).unwrap();
+        assert!(g2.coords().is_none());
+        assert_eq!(g2.num_edges(), 1);
+        // Coordinate-free graphs serialize coords as null and reload
+        // as None.
+        let mut buf = Vec::new();
+        write_json(&g2, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("\"coords\":null"));
+    }
+
+    #[test]
     fn malformed_json_is_format_error() {
         let err = read_json("not json".as_bytes()).unwrap_err();
         assert!(matches!(err, IoError::Format(_)));

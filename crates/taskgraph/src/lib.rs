@@ -51,6 +51,9 @@ pub struct TaskGraph {
     xadj: Vec<usize>,
     adj: Vec<u32>,
     ewgt: Vec<f64>,
+    /// Optional per-task spatial coordinates (geometric generators attach
+    /// them; the SFC/RCB mappers consume them). 2-D workloads pad z = 0.
+    coords: Option<Vec<[f64; 3]>>,
 }
 
 impl TaskGraph {
@@ -59,7 +62,21 @@ impl TaskGraph {
         TaskGraphBuilder {
             vwgt: vec![1.0; n],
             edges: Vec::new(),
+            coords: None,
         }
+    }
+
+    /// Per-task spatial coordinates, if the workload carries geometry.
+    pub fn coords(&self) -> Option<&[[f64; 3]]> {
+        self.coords.as_deref()
+    }
+
+    /// Attach (or replace) per-task coordinates. Panics on length
+    /// mismatch or non-finite components.
+    pub fn with_coords(mut self, coords: Vec<[f64; 3]>) -> Self {
+        validate_coords(&coords, self.num_tasks());
+        self.coords = Some(coords);
+        self
     }
 
     /// Number of tasks `|V_t|`.
@@ -153,7 +170,62 @@ impl TaskGraph {
                 b.add_comm(ga, gb, w);
             }
         }
+        // Geometry survives coalescing: each group sits at the
+        // weight-weighted centroid of its members (plain mean when the
+        // group's total weight is zero), so geometric mappers keep
+        // working on pre-partitioned graphs.
+        if let Some(cs) = &self.coords {
+            let mut sums = vec![[0.0f64; 3]; num_groups];
+            let mut wsum = vec![0.0f64; num_groups];
+            let mut cnt = vec![0usize; num_groups];
+            for (t, &g) in assignment.iter().enumerate() {
+                let w = self.vwgt[t];
+                for d in 0..3 {
+                    sums[g][d] += cs[t][d] * w;
+                }
+                wsum[g] += w;
+                cnt[g] += 1;
+            }
+            let mut out = vec![[0.0f64; 3]; num_groups];
+            for g in 0..num_groups {
+                if wsum[g] > 0.0 {
+                    for d in 0..3 {
+                        out[g][d] = sums[g][d] / wsum[g];
+                    }
+                } else if cnt[g] > 0 {
+                    // Unweighted mean of member positions.
+                    let mut m = [0.0f64; 3];
+                    for (t, &gg) in assignment.iter().enumerate() {
+                        if gg == g {
+                            for d in 0..3 {
+                                m[d] += cs[t][d];
+                            }
+                        }
+                    }
+                    for d in 0..3 {
+                        out[g][d] = m[d] / cnt[g] as f64;
+                    }
+                }
+            }
+            b.set_coords(out);
+        }
         b.build()
+    }
+}
+
+/// Shared coordinate validation for the builder and `with_coords`.
+fn validate_coords(coords: &[[f64; 3]], n: usize) {
+    assert_eq!(
+        coords.len(),
+        n,
+        "coords cover {} tasks but the graph has {n}",
+        coords.len()
+    );
+    for (t, c) in coords.iter().enumerate() {
+        assert!(
+            c.iter().all(|v| v.is_finite()),
+            "task {t} has non-finite coordinate {c:?}"
+        );
     }
 }
 
@@ -162,6 +234,7 @@ impl TaskGraph {
 pub struct TaskGraphBuilder {
     vwgt: Vec<f64>,
     edges: Vec<(u32, u32, f64)>,
+    coords: Option<Vec<[f64; 3]>>,
 }
 
 impl TaskGraphBuilder {
@@ -195,6 +268,15 @@ impl TaskGraphBuilder {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             self.edges.push((lo as u32, hi as u32, bytes));
         }
+        self
+    }
+
+    /// Attach per-task coordinates (one `[x, y, z]` per task; 2-D
+    /// workloads pad z = 0). Panics on length mismatch or non-finite
+    /// components.
+    pub fn set_coords(&mut self, coords: Vec<[f64; 3]>) -> &mut Self {
+        validate_coords(&coords, self.vwgt.len());
+        self.coords = Some(coords);
         self
     }
 
@@ -236,6 +318,7 @@ impl TaskGraphBuilder {
             xadj,
             adj,
             ewgt,
+            coords: self.coords.take(),
         }
     }
 }
@@ -247,6 +330,9 @@ pub struct TaskGraphData {
     pub vertex_weights: Vec<f64>,
     /// Undirected edges, each once, as `(a, b, bytes)`.
     pub edges: Vec<(usize, usize, f64)>,
+    /// Optional per-task coordinates. Absent or `null` in dumps written
+    /// before geometry existed — both load as `None`.
+    pub coords: Option<Vec<[f64; 3]>>,
 }
 
 impl From<&TaskGraph> for TaskGraphData {
@@ -254,6 +340,7 @@ impl From<&TaskGraph> for TaskGraphData {
         TaskGraphData {
             vertex_weights: g.vwgt.clone(),
             edges: g.edges().collect(),
+            coords: g.coords.clone(),
         }
     }
 }
@@ -266,6 +353,9 @@ impl From<&TaskGraphData> for TaskGraph {
         }
         for &(a, bb, w) in &d.edges {
             b.add_comm(a, bb, w);
+        }
+        if let Some(cs) = &d.coords {
+            b.set_coords(cs.clone());
         }
         b.build()
     }
@@ -369,6 +459,60 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         TaskGraph::builder(2).add_comm(0, 2, 1.0);
+    }
+
+    #[test]
+    fn coords_roundtrip_and_default_absent() {
+        let mut b = TaskGraph::builder(2);
+        b.add_comm(0, 1, 3.0);
+        b.set_coords(vec![[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]]);
+        let g = b.build();
+        assert_eq!(g.coords().unwrap()[1], [3.0, 4.0, 5.0]);
+        let data = TaskGraphData::from(&g);
+        assert_eq!(TaskGraph::from(&data), g);
+        // Coordinate-free graphs report None both ways.
+        let g2 = TaskGraph::builder(2).build();
+        assert!(g2.coords().is_none());
+        assert!(TaskGraphData::from(&g2).coords.is_none());
+    }
+
+    #[test]
+    fn with_coords_attaches() {
+        let g = TaskGraph::builder(2)
+            .build()
+            .with_coords(vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]);
+        assert_eq!(g.coords().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "coords cover")]
+    fn coords_length_mismatch_panics() {
+        TaskGraph::builder(3).set_coords(vec![[0.0; 3]]);
+    }
+
+    #[test]
+    fn coalesce_propagates_weighted_centroids() {
+        let mut b = TaskGraph::builder(4);
+        b.add_comm(0, 2, 1.0);
+        b.set_task_weight(0, 1.0)
+            .set_task_weight(1, 3.0)
+            .set_task_weight(2, 2.0)
+            .set_task_weight(3, 2.0);
+        b.set_coords(vec![
+            [0.0, 0.0, 0.0],
+            [4.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0],
+            [0.0, 6.0, 0.0],
+        ]);
+        let g = b.build();
+        let c = g.coalesce(&[0, 0, 1, 1], 2);
+        let cs = c.coords().unwrap();
+        // Group 0: (1*0 + 3*4)/4 = 3 on x; group 1: (2*2 + 2*6)/4 = 4 on y.
+        assert_eq!(cs[0], [3.0, 0.0, 0.0]);
+        assert_eq!(cs[1], [0.0, 4.0, 0.0]);
+        // Coordinate-free input stays coordinate-free.
+        let plain = TaskGraph::builder(4).build().coalesce(&[0, 0, 1, 1], 2);
+        assert!(plain.coords().is_none());
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub fn scale(g: &TaskGraph, load_factor: f64, comm_factor: f64) -> TaskGraph {
     for (a, bb, w) in g.edges() {
         b.add_comm(a, bb, w * comm_factor);
     }
+    if let Some(cs) = g.coords() {
+        b.set_coords(cs.to_vec());
+    }
     b.build()
 }
 
@@ -35,6 +38,9 @@ pub fn perturb_loads(g: &TaskGraph, amount: f64, seed: u64) -> TaskGraph {
     }
     for (a, bb, w) in g.edges() {
         b.add_comm(a, bb, w);
+    }
+    if let Some(cs) = g.coords() {
+        b.set_coords(cs.to_vec());
     }
     b.build()
 }
@@ -56,6 +62,13 @@ pub fn disjoint_union(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
     for (x, y, w) in b.edges() {
         out.add_comm(na + x, na + y, w);
     }
+    // Geometry survives only when both modules carry it (the two
+    // coordinate frames are simply juxtaposed).
+    if let (Some(ca), Some(cb)) = (a.coords(), b.coords()) {
+        let mut cs = ca.to_vec();
+        cs.extend_from_slice(cb);
+        out.set_coords(cs);
+    }
     out.build()
 }
 
@@ -75,6 +88,10 @@ pub fn overlay(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
     for (x, y, w) in a.edges().chain(b.edges()) {
         out.add_comm(x, y, w);
     }
+    // Same task set, same geometry: prefer a's coordinates.
+    if let Some(cs) = a.coords().or_else(|| b.coords()) {
+        out.set_coords(cs.to_vec());
+    }
     out.build()
 }
 
@@ -90,6 +107,9 @@ pub fn prune_light_edges(g: &TaskGraph, threshold: f64) -> TaskGraph {
         if w >= threshold {
             b.add_comm(x, y, w);
         }
+    }
+    if let Some(cs) = g.coords() {
+        b.set_coords(cs.to_vec());
     }
     b.build()
 }
@@ -109,6 +129,13 @@ pub fn relabel(g: &TaskGraph, perm: &[TaskId]) -> TaskGraph {
     }
     for (x, y, w) in g.edges() {
         b.add_comm(perm[x], perm[y], w);
+    }
+    if let Some(cs) = g.coords() {
+        let mut out = vec![[0.0f64; 3]; cs.len()];
+        for (t, &new) in perm.iter().enumerate() {
+            out[new] = cs[t];
+        }
+        b.set_coords(out);
     }
     b.build()
 }
@@ -181,6 +208,23 @@ mod tests {
         assert!((r.total_comm() - g.total_comm()).abs() < 1e-9);
         // Edge (0,1) in g appears as (perm[0], perm[1]).
         assert_eq!(r.edge_weight(perm[0], perm[1]), g.edge_weight(0, 1));
+    }
+
+    #[test]
+    fn transforms_carry_coords() {
+        let g = gen::stencil2d(3, 3, 7.0, false);
+        assert!(scale(&g, 2.0, 2.0).coords().is_some());
+        assert!(perturb_loads(&g, 0.1, 1).coords().is_some());
+        assert!(prune_light_edges(&g, 1.0).coords().is_some());
+        assert!(overlay(&g, &g).coords().is_some());
+        let u = disjoint_union(&g, &g);
+        assert_eq!(u.coords().unwrap().len(), 18);
+        // Union with a coordinate-free module drops geometry.
+        assert!(disjoint_union(&g, &gen::ring(3, 1.0)).coords().is_none());
+        // Relabel permutes positions along with ids.
+        let perm: Vec<usize> = (0..9).map(|t| (t + 4) % 9).collect();
+        let r = relabel(&g, &perm);
+        assert_eq!(r.coords().unwrap()[perm[5]], g.coords().unwrap()[5]);
     }
 
     #[test]

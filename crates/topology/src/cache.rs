@@ -90,6 +90,10 @@ impl<T: Topology> Topology for CachedTopology<T> {
         out.clear();
         out.extend(targets.iter().map(|&t| row[t]));
     }
+
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        self.inner.node_coords(node)
+    }
 }
 
 impl<T: RoutedTopology> RoutedTopology for CachedTopology<T> {

@@ -97,6 +97,11 @@ impl Topology for Dragonfly {
         self.nodes
     }
 
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        let (g, r) = self.coords(node);
+        Some([g as f64, r as f64, 0.0])
+    }
+
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         let (ga, ra) = self.coords(a);
         let (gb, rb) = self.coords(b);

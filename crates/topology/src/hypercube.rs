@@ -41,6 +41,20 @@ impl Topology for Hypercube {
         1usize << self.dims
     }
 
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        // Deal the address bits onto 3 axes round-robin (bit i goes to
+        // axis i % 3), giving a 3-D lattice embedding where one hop
+        // changes exactly one axis.
+        let mut c = [0u64; 3];
+        let mut shift = [0u32; 3];
+        for i in 0..self.dims {
+            let axis = (i % 3) as usize;
+            c[axis] |= (((node >> i) & 1) as u64) << shift[axis];
+            shift[axis] += 1;
+        }
+        Some([c[0] as f64, c[1] as f64, c[2] as f64])
+    }
+
     fn distance(&self, a: NodeId, b: NodeId) -> u32 {
         debug_assert!(a < self.num_nodes() && b < self.num_nodes());
         (a ^ b).count_ones()

@@ -153,6 +153,16 @@ pub trait Topology: Send + Sync {
         }
         (s[0] + s[1]) + (s[2] + s[3])
     }
+
+    /// Spatial position of `node` for geometric mappers (SFC/RCB), or
+    /// `None` when the machine has no natural ≤3-D embedding. Grid
+    /// machines return their torus/mesh coordinates (z padded with 0);
+    /// hierarchical machines return (group, member, 0)-style positions.
+    /// Consumers must handle `None` (geometric mappers fall back to
+    /// node-id ordering).
+    fn node_coords(&self, _node: NodeId) -> Option<[f64; 3]> {
+        None
+    }
 }
 
 /// A topology with explicit links and deterministic shortest-path routing.
@@ -262,6 +272,9 @@ impl<T: Topology + ?Sized> Topology for &T {
     fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
         (**self).distances_sum_into(from, targets, out)
     }
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        (**self).node_coords(node)
+    }
 }
 
 impl<T: Topology + ?Sized> Topology for Box<T> {
@@ -286,6 +299,9 @@ impl<T: Topology + ?Sized> Topology for Box<T> {
 
     fn distances_sum_into(&self, from: NodeId, targets: &[NodeId], out: &mut Vec<u32>) -> u64 {
         (**self).distances_sum_into(from, targets, out)
+    }
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        (**self).node_coords(node)
     }
 }
 

@@ -340,6 +340,17 @@ impl Topology for Torus {
         total
     }
 
+    fn node_coords(&self, node: NodeId) -> Option<[f64; 3]> {
+        if self.dims.len() > 3 {
+            return None;
+        }
+        let mut c = [0.0f64; 3];
+        for (d, slot) in c.iter_mut().enumerate().take(self.dims.len()) {
+            *slot = coords::coord_of(node, self.dims[d], self.strides[d]) as f64;
+        }
+        Some(c)
+    }
+
     fn name(&self) -> String {
         let kind = if self.wrap.iter().all(|&w| w) {
             "Torus"

@@ -18,6 +18,8 @@ fn stencil_request(id: u64) -> MapRequest {
         id,
         topology: "torus:8x8".to_string(),
         mapper: "topolb".to_string(),
+        init: None,
+        fast_lane: None,
         hierarchy: None,
         hier_dist: None,
         seed: 0,

@@ -164,6 +164,56 @@ proptest! {
         }
     }
 
+    /// The geometric mappers fan out curve-key computation (SFC) and
+    /// whole bisection levels (RCB) onto the pool; ordered chunk
+    /// recombination keeps both bit-identical at every thread count,
+    /// with real coordinates and with the BFS-synthesized fallback.
+    #[test]
+    fn geometric_mappers_thread_invariant(
+        g in arb_task_graph(),
+        topo_idx in 0usize..4,
+        curve_idx in 0usize..2,
+    ) {
+        let topo = topology_for(topo_idx, 25);
+        let curve = [Curve::Hilbert, Curve::Morton][curve_idx];
+        let sfc_serial = SfcMap::with_parallelism(curve, Parallelism::serial())
+            .map(&g, topo.as_ref());
+        let rcb_serial = RcbMap::with_parallelism(Parallelism::serial()).map(&g, topo.as_ref());
+        for threads in [2, 8] {
+            let sfc = SfcMap::with_parallelism(curve, eager(threads)).map(&g, topo.as_ref());
+            prop_assert_eq!(&sfc_serial, &sfc, "SFC {:?}, {} threads", curve, threads);
+            let rcb = RcbMap::with_parallelism(eager(threads)).map(&g, topo.as_ref());
+            prop_assert_eq!(&rcb_serial, &rcb, "RCB, {} threads", threads);
+        }
+    }
+
+    /// Same guarantee on a coordinate-free workload, where both mappers
+    /// run the BFS double-sweep synthesis first: synthesis is serial and
+    /// deterministic, so the pool must not leak into the result.
+    #[test]
+    fn geometric_mappers_thread_invariant_without_coords(
+        n in 8usize..=40,
+        bytes in 1.0f64..1e6,
+    ) {
+        let g = gen::ring(n, bytes);
+        let topo = topology_for(0, n.max(25));
+        let sfc_serial = SfcMap::with_parallelism(Curve::Hilbert, Parallelism::serial())
+            .map(&g, topo.as_ref());
+        let rcb_serial = RcbMap::with_parallelism(Parallelism::serial()).map(&g, topo.as_ref());
+        for threads in [2, 8] {
+            prop_assert_eq!(
+                &sfc_serial,
+                &SfcMap::with_parallelism(Curve::Hilbert, eager(threads)).map(&g, topo.as_ref()),
+                "SFC fallback, {} threads", threads
+            );
+            prop_assert_eq!(
+                &rcb_serial,
+                &RcbMap::with_parallelism(eager(threads)).map(&g, topo.as_ref()),
+                "RCB fallback, {} threads", threads
+            );
+        }
+    }
+
     /// The annealer and the genetic mapper fan out delta/fitness
     /// evaluation only; their search is defined by the RNG streams, so
     /// thread count must not change the result either.

@@ -78,6 +78,12 @@ pub mod value {
             .map(|(_, v)| v)
             .ok_or_else(|| Error::custom(&format!("missing field `{name}`")))
     }
+
+    /// Look up a field that may be absent (used by derived impls, which
+    /// route absence through [`crate::Deserialize::from_missing_field`]).
+    pub fn field_opt<'v>(pairs: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
 }
 
 use value::Value;
@@ -90,6 +96,15 @@ pub trait Serialize {
 /// Conversion out of the value tree.
 pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field is absent from the
+    /// object. Types with a natural absent form override (Option => None
+    /// — the `#[serde(default)]`-for-Option behavior of real serde, so
+    /// schemas can grow optional fields without breaking old payloads);
+    /// everything else keeps the hard "missing field" error.
+    fn from_missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::custom(&format!("missing field `{name}`")))
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
@@ -219,6 +234,29 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(&format!("expected array of length {N}")));
+        }
+        let mut out: Vec<T> = Vec::with_capacity(N);
+        for it in items {
+            out.push(T::from_value(it)?);
+        }
+        out.try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -234,6 +272,10 @@ impl<T: Deserialize> Deserialize for Option<T> {
             Value::Null => Ok(None),
             other => T::from_value(other).map(Some),
         }
+    }
+
+    fn from_missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
     }
 }
 

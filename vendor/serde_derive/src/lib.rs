@@ -160,8 +160,14 @@ fn object_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
 fn struct_build_expr(path: &str, fields: &[String], obj: &str) -> String {
     let mut s = format!("{path} {{");
     for f in fields {
+        // Absent fields go through `from_missing_field`: still a hard
+        // error for most types, but Option fields default to None so
+        // schemas can grow without breaking old payloads.
         s.push_str(&format!(
-            "{f}: ::serde::Deserialize::from_value(::serde::value::field({obj}, \"{f}\")?)?,"
+            "{f}: match ::serde::value::field_opt({obj}, \"{f}\") {{
+                ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,
+                ::std::option::Option::None => ::serde::Deserialize::from_missing_field(\"{f}\")?,
+            }},"
         ));
     }
     s.push('}');
